@@ -1,0 +1,58 @@
+// Ablation: delay compensation (Section 3.3).  Compares the paper's
+// adaptive algorithm (anchor on the observed schedule arrival) against
+// anchoring on the proxy's clock stamp and against no early transition at
+// all, under realistic access-point jitter.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pp;
+  bench::heading("Ablation: delay compensation algorithms");
+
+  struct Mode {
+    const char* name;
+    client::CompensationMode mode;
+  };
+  const std::vector<Mode> modes{
+      {"adaptive (paper)", client::CompensationMode::Adaptive},
+      {"proxy clock", client::CompensationMode::ProxyClock},
+      {"no early transition", client::CompensationMode::None},
+  };
+
+  std::vector<exp::ScenarioConfig> cfgs;
+  for (const auto& m : modes) {
+    exp::ScenarioConfig cfg;
+    cfg.roles = std::vector<int>(5, 0);
+    cfg.policy = exp::IntervalPolicy::Fixed100;
+    cfg.seed = 42;
+    cfg.duration_s = 140.0;
+    cfg.compensation = m.mode;
+    // Pronounced AP jitter, as on real hardware.
+    net::AccessPointParams ap;
+    ap.p_spike = 0.08;
+    ap.spike_max = sim::Time::ms(8);
+    cfg.ap = ap;
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_batch(cfgs);
+
+  std::printf("%-22s %8s %8s %10s %14s\n", "algorithm", "avg%", "loss%",
+              "sched-miss", "missed-pkts");
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    std::uint64_t miss = 0, pkts = 0;
+    for (const auto& c : results[i].clients) {
+      miss += c.schedules_missed;
+      pkts += c.packets_missed;
+    }
+    std::printf("%-22s %8.1f %8.2f %10llu %14llu\n", modes[i].name,
+                exp::summarize_all(results[i].clients).avg,
+                exp::average_loss_pct(results[i].clients),
+                static_cast<unsigned long long>(miss),
+                static_cast<unsigned long long>(pkts));
+  }
+  std::printf(
+      "\nthe adaptive anchor absorbs access-point delay shifts; fixed "
+      "anchors miss\nschedules whenever the path delay drifts.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: why the transparent proxy splices TCP (Section 3.2 / Figure 3).
+//
+// Buffering packets of an *end-to-end* TCP connection (BufferedPassthrough)
+// inflates the sender's measured RTT by the burst delay, collapsing its
+// throughput to ~window/RTT.  The double connection hides the buffering
+// from the sender, so transfers finish much faster at the same energy
+// policy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+pp::exp::ScenarioResult run_mode(pp::proxy::ProxyMode mode) {
+  using namespace pp;
+  exp::ScenarioConfig cfg;
+  cfg.roles = {exp::kRoleFtp};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.seed = 37;
+  cfg.duration_s = 400.0;
+  cfg.ftp_bytes = 2'000'000;
+  cfg.proxy_mode = mode;
+  return exp::run_scenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pp;
+  bench::heading("Ablation: spliced connections vs buffered passthrough");
+
+  const auto spliced = run_mode(proxy::ProxyMode::Splice);
+  const auto buffered = run_mode(proxy::ProxyMode::BufferedPassthrough);
+
+  auto report = [](const char* name, const exp::ScenarioResult& r) {
+    const auto& c = r.clients[0];
+    std::printf("%-24s transfer=%8.2fs  saved=%5.1f%%  bytes=%llu\n", name,
+                c.ftp_seconds, c.saved_pct,
+                static_cast<unsigned long long>(c.app_bytes));
+  };
+  report("spliced (double conn)", spliced);
+  report("buffered passthrough", buffered);
+
+  const double ts = spliced.clients[0].ftp_seconds;
+  const double tb = buffered.clients[0].ftp_seconds;
+  if (ts > 0 && tb > 0) {
+    std::printf("\nsplicing speeds the transfer up %.1fx: the server's RTT "
+                "excludes the burst delay,\nso its window opens instead of "
+                "stalling at window/RTT.\n", tb / ts);
+  } else if (tb <= 0) {
+    std::printf("\nbuffered passthrough did not even finish within the "
+                "horizon — the end-to-end\nconnection collapsed to "
+                "window/RTT throughput. That is exactly why the paper "
+                "splices.\n");
+  }
+  return 0;
+}

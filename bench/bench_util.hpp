@@ -1,0 +1,78 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one of the paper's artifacts and prints the
+// measured series next to the paper's reported values, so shape deviations
+// are visible at a glance.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "exp/scenario.hpp"
+
+namespace pp::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_header() {
+  std::printf("%-14s %-12s %8s %8s %8s %8s %10s\n", "pattern", "interval",
+              "avg%", "min%", "max%", "loss%", "paper-avg%");
+}
+
+inline void print_row(const std::string& pattern, const std::string& interval,
+                      const exp::Summary& s, double loss_pct,
+                      const char* paper = "-") {
+  std::printf("%-14s %-12s %8.1f %8.1f %8.1f %8.2f %10s\n", pattern.c_str(),
+              interval.c_str(), s.avg, s.min, s.max, loss_pct, paper);
+}
+
+// The paper's five Figure-4 access patterns, ten clients each.
+// 0=56K 1=128K 2=256K 3=512K.
+inline std::vector<std::pair<std::string, std::vector<int>>> fig4_patterns() {
+  return {
+      {"56K", std::vector<int>(10, 0)},
+      {"256K", std::vector<int>(10, 2)},
+      {"512K", std::vector<int>(10, 3)},
+      {"56K_512K", {0, 0, 0, 0, 0, 3, 3, 3, 3, 3}},
+      {"All", {0, 0, 0, 0, 0, 0, 1, 2, 2, 3}},
+  };
+}
+
+// Figure 5: seven video clients + three web clients.
+inline std::vector<std::pair<std::string, std::vector<int>>> fig5_patterns() {
+  using exp::kRoleWeb;
+  auto mixed = [](std::vector<int> video) {
+    video.insert(video.end(), {kRoleWeb, kRoleWeb, kRoleWeb});
+    return video;
+  };
+  return {
+      {"56K/TCP", mixed(std::vector<int>(7, 0))},
+      {"256K/TCP", mixed(std::vector<int>(7, 2))},
+      {"512K/TCP", mixed(std::vector<int>(7, 3))},
+      {"All/TCP", mixed({0, 0, 1, 1, 2, 2, 3})},
+  };
+}
+
+inline std::vector<std::pair<std::string, exp::IntervalPolicy>>
+dynamic_intervals() {
+  return {{"100ms", exp::IntervalPolicy::Fixed100},
+          {"500ms", exp::IntervalPolicy::Fixed500},
+          {"variable", exp::IntervalPolicy::Variable}};
+}
+
+// Run a batch of scenarios in parallel, preserving order.
+inline std::vector<exp::ScenarioResult> run_batch(
+    const std::vector<exp::ScenarioConfig>& cfgs) {
+  std::vector<std::function<exp::ScenarioResult()>> tasks;
+  tasks.reserve(cfgs.size());
+  for (const auto& c : cfgs)
+    tasks.emplace_back([c] { return exp::run_scenario(c); });
+  return exp::run_parallel(tasks);
+}
+
+}  // namespace pp::bench

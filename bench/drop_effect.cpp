@@ -1,0 +1,77 @@
+// Section 4.3 drop studies.
+//
+// (a) Netfilter-style experiment: packets that arrive while the client
+//     sleeps really are dropped (that is how our medium always behaves);
+//     measure the ftp transfer-time inflation versus an always-on client.
+// (b) DummyNet-style experiment: a 4 Mb/s channel with ~2 ms RTT and a 5%
+//     random drop rate.
+//
+// Paper reference: dropping packets while asleep costs no more than a 10%
+// increase in transmission time (=> no more than ~5% extra energy), because
+// the proxy-client RTT is small; the DummyNet run behaves similarly.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+pp::exp::ScenarioResult run_ftp(bool naive_like, double p_loss) {
+  using namespace pp;
+  exp::ScenarioConfig cfg;
+  cfg.roles = {exp::kRoleFtp};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.seed = 31;
+  cfg.duration_s = 200.0;
+  cfg.ftp_bytes = 2'000'000;
+  if (naive_like) {
+    // Direct baseline: no shaping, client always in high power.
+    cfg.proxy_mode = proxy::ProxyMode::Passthrough;
+    cfg.naive_clients = true;
+  }
+  if (p_loss > 0) {
+    net::WirelessParams wp;
+    wp.p_loss = p_loss;
+    cfg.wireless = wp;
+  }
+  return exp::run_scenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace pp;
+  bench::heading("Drop studies (2 MB ftp download)");
+
+  const auto direct = run_ftp(/*naive_like=*/true, 0.0);
+  const auto sched = run_ftp(/*naive_like=*/false, 0.0);
+  const auto lossy = run_ftp(/*naive_like=*/false, 0.05);
+
+  const double t_direct = direct.clients[0].ftp_seconds;
+  const double t_sched = sched.clients[0].ftp_seconds;
+  const double t_lossy = lossy.clients[0].ftp_seconds;
+
+  std::printf("%-34s %12s %10s %10s\n", "configuration", "transfer(s)",
+              "saved%", "loss%");
+  std::printf("%-34s %12.2f %10.1f %10.2f\n", "direct (passthrough proxy)",
+              t_direct, direct.clients[0].saved_pct,
+              direct.clients[0].loss_pct);
+  std::printf("%-34s %12.2f %10.1f %10.2f\n",
+              "scheduled (drops while asleep)", t_sched,
+              sched.clients[0].saved_pct, sched.clients[0].loss_pct);
+  std::printf("%-34s %12.2f %10.1f %10.2f\n",
+              "scheduled + 5% medium drop (4Mb/s)", t_lossy,
+              lossy.clients[0].saved_pct, lossy.clients[0].loss_pct);
+
+  if (t_direct > 0 && t_sched > 0) {
+    std::printf(
+        "\nscheduling slows the transfer %.1fx (bursts trade latency for "
+        "energy);\n5%% random drops add %.1f%% on top of the scheduled "
+        "time.\n",
+        t_sched / t_direct,
+        t_lossy > 0 ? 100.0 * (t_lossy - t_sched) / t_sched : -1.0);
+  }
+  std::printf(
+      "paper: the *drop-when-asleep* effect itself is <= 10%% transfer-time "
+      "increase\n(<= ~5%% energy), thanks to the short proxy-client RTT.\n");
+  return 0;
+}

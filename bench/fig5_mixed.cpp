@@ -1,0 +1,54 @@
+// Figure 5 reproduction: ten clients, seven viewing UDP (video) streams and
+// three downloading TCP (HTTP) data, for 100 ms / 500 ms / variable burst
+// intervals.  One bar pair per access pattern: UDP clients vs TCP clients.
+//
+// Paper reference: savings range from just over 50% to just under 90%;
+// best-case energy savings among video clients is similar across
+// fidelities (stream adaptation, Section 4.3); TCP clients show lower
+// variance than the UDP ones.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pp;
+  bench::heading("Figure 5: 7 video + 3 web clients, energy saved by group");
+
+  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<std::pair<std::string, std::string>> labels;
+  for (const auto& [iname, policy] : bench::dynamic_intervals()) {
+    for (const auto& [pname, roles] : bench::fig5_patterns()) {
+      exp::ScenarioConfig cfg;
+      cfg.roles = roles;
+      cfg.policy = policy;
+      cfg.seed = 42;
+      cfg.duration_s = 140.0;
+      cfgs.push_back(cfg);
+      labels.emplace_back(pname, iname);
+    }
+  }
+  const auto results = bench::run_batch(cfgs);
+
+  std::string last_interval;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [pattern, interval] = labels[i];
+    if (interval != last_interval) {
+      std::printf("\n-- burst interval: %s --\n", interval.c_str());
+      std::printf("%-12s  %28s   %28s\n", "", "UDP clients (avg/min/max %)",
+                  "TCP clients (avg/min/max %)");
+      last_interval = interval;
+    }
+    const auto v = exp::summarize_video(results[i].clients);
+    const auto t = exp::summarize_tcp(results[i].clients);
+    std::printf("%-12s  %8.1f %8.1f %8.1f    %8.1f %8.1f %8.1f\n",
+                pattern.c_str(), v.avg, v.min, v.max, t.avg, t.min, t.max);
+  }
+
+  // Variance comparison (Section 4.3: "TCP clients have a lower variance").
+  std::printf("\nspread (max-min) at 500 ms:\n");
+  for (std::size_t i = 4; i < 8; ++i) {
+    const auto v = exp::summarize_video(results[i].clients);
+    const auto t = exp::summarize_tcp(results[i].clients);
+    std::printf("  %-12s UDP spread=%5.1f  TCP spread=%5.1f\n",
+                labels[i].first.c_str(), v.max - v.min, t.max - t.min);
+  }
+  return 0;
+}

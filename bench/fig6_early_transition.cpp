@@ -1,0 +1,54 @@
+// Figure 6 reproduction: the effect of the early transition amount on
+// wasted energy, for a single client with a 100 ms burst interval.
+//
+// One live run captures the wireless trace; the postmortem analyzer then
+// replays it under early transition amounts of 0, 2, 4, 6, 8 and 10 ms —
+// exactly the paper's methodology (the simulator reads the tcpdump trace).
+//
+// Paper reference: wasted energy decomposes into an "Early" component that
+// grows with the early transition amount and a "MissedSched" component
+// that grows as it shrinks; 6 ms is the best value, and missed packets
+// range from 0.97% (10 ms early) to 1.83% (0 ms early).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trace/postmortem.hpp"
+
+int main() {
+  using namespace pp;
+  bench::heading("Figure 6: early transition amount vs wasted energy");
+
+  exp::ScenarioConfig cfg;
+  cfg.roles = {0};  // a single 56K video client
+  cfg.policy = exp::IntervalPolicy::Fixed100;
+  cfg.seed = 19;
+  cfg.duration_s = 140.0;
+  cfg.keep_trace = true;
+  // Stress the timing: heavier access-point jitter makes the trade-off
+  // visible, as the paper's real access point did.
+  net::AccessPointParams ap;
+  ap.p_spike = 0.08;
+  ap.spike_max = sim::Time::ms(8);
+  cfg.ap = ap;
+  const auto res = exp::run_scenario(cfg);
+  std::printf("live run: %zu frames captured\n", res.trace.size());
+
+  trace::PostmortemAnalyzer analyzer{res.trace};
+  std::printf("\n%8s %12s %14s %12s %12s %12s\n", "early", "Early (J)",
+              "MissedSched(J)", "total (J)", "missed-pkt%", "sched-missed");
+  for (int early_ms : {0, 2, 4, 6, 8, 10}) {
+    client::DaemonConfig dc;
+    dc.comp.early = sim::Time::ms(early_ms);
+    const auto rep =
+        analyzer.analyze(res.clients[0].ip, dc, res.horizon);
+    std::printf("%6dms %12.2f %14.2f %12.2f %12.2f %12llu\n", early_ms,
+                rep.early_wait_mj / 1000.0, rep.missed_wait_mj / 1000.0,
+                (rep.early_wait_mj + rep.missed_wait_mj) / 1000.0,
+                rep.loss_fraction * 100.0,
+                static_cast<unsigned long long>(rep.schedules_missed));
+  }
+  std::printf(
+      "\npaper: Early grows with the amount, MissedSched shrinks; 6 ms "
+      "minimizes the total.\n");
+  return 0;
+}

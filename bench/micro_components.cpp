@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks for the hot components: event queue,
+// RNG, schedule construction, the marker, and whole-scenario throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "exp/scenario.hpp"
+#include "proxy/marker.hpp"
+#include "proxy/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace pp;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push(sim::Time::ns(static_cast<std::int64_t>(rng.next_u64() % 1'000'000)),
+             [] {});
+    }
+    while (!q.empty()) q.pop().fn();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1'000)->Arg(10'000);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng{7};
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink ^= rng.next_u64();
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_SchedulerBuild(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  proxy::FixedIntervalScheduler sched{sim::Time::ms(100)};
+  std::vector<proxy::BandwidthEstimator::Sample> samples{
+      {100, 2e-3}, {700, 3.2e-3}, {1400, 4.6e-3}};
+  proxy::BandwidthEstimator est{samples};
+  std::vector<proxy::ClientDemand> demands;
+  for (int i = 0; i < clients; ++i) {
+    demands.push_back({net::Ipv4Addr{static_cast<std::uint32_t>(i + 1)},
+                       10'000, 5'000, 8});
+  }
+  for (auto _ : state) {
+    auto b = sched.build(demands, est);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_SchedulerBuild)->Arg(10)->Arg(100);
+
+void BM_MarkerEgress(benchmark::State& state) {
+  proxy::BurstMarker m;
+  std::uint64_t seq = 0;
+  m.bytes_written(1ull << 40);
+  for (auto _ : state) {
+    net::Packet p = net::make_packet();
+    p.proto = net::Protocol::Tcp;
+    p.payload = 1400;
+    p.tcp.seq = seq + 1;
+    seq += 1400;
+    m.on_egress(p);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MarkerEgress);
+
+void BM_ScenarioSecondsSimulated(benchmark::State& state) {
+  for (auto _ : state) {
+    exp::ScenarioConfig cfg;
+    cfg.roles = {0, 0, 0};
+    cfg.policy = exp::IntervalPolicy::Fixed500;
+    cfg.seed = 5;
+    cfg.duration_s = 30.0;
+    auto res = exp::run_scenario(cfg);
+    benchmark::DoNotOptimize(res);
+  }
+  // Items = simulated seconds, so the rate reads as sim-seconds/second.
+  state.SetItemsProcessed(state.iterations() * 30);
+}
+BENCHMARK(BM_ScenarioSecondsSimulated)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

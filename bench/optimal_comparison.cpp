@@ -1,0 +1,57 @@
+// Section 4.3 "Comparison to optimal": the closed-form optimal energy
+// saving for each stream fidelity versus what the scheduled clients
+// actually achieve (ten identical clients, 500 ms interval).
+//
+// Paper reference: optimal 90 / 83 / 77 % for 56K / 256K / 512K, versus
+// measured 77 / 66 / 53 %; the median client lands within 10-15% of
+// optimal.  Best-case 512K clients can *exceed* the 512K optimal because
+// stream adaptation downshifts their stream (the anomaly discussed there).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "energy/wnic.hpp"
+#include "workload/video.hpp"
+
+int main() {
+  using namespace pp;
+  bench::heading("Comparison to optimal (ten clients, 500 ms interval)");
+
+  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<int> fidelities{0, 2, 3};
+  for (int f : fidelities) {
+    exp::ScenarioConfig cfg;
+    cfg.roles = std::vector<int>(10, f);
+    cfg.policy = exp::IntervalPolicy::Fixed500;
+    cfg.seed = 42;
+    cfg.duration_s = 140.0;
+    cfg.keep_trace = true;
+    cfgs.push_back(cfg);
+  }
+  const auto results = bench::run_batch(cfgs);
+
+  std::printf("%-8s %10s %10s %10s %12s %12s\n", "stream", "optimal%",
+              "measured%", "best%", "gap(pts)", "paper(opt/meas)");
+  const char* paper[] = {"90/77", "83/66", "77/53"};
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const int f = fidelities[i];
+    // t_opt: airtime to receive the whole stream back to back, from the
+    // actual bytes delivered and the calibrated channel cost.
+    double total_airtime_s = 0;
+    double span_s = cfgs[i].duration_s;
+    for (const auto& r : results[i].trace) {
+      if (r.from_ap && !r.is_broadcast() &&
+          r.dst == results[i].clients[0].ip)
+        total_airtime_s += r.airtime.to_seconds();
+    }
+    energy::OptimalInput in{span_s, total_airtime_s, {}};
+    const double opt = 100.0 * energy::optimal_energy_saved_fraction(in);
+    const auto s = exp::summarize_all(results[i].clients);
+    std::printf("%-8s %10.1f %10.1f %10.1f %12.1f %12s\n",
+                exp::role_name(f).c_str(), opt, s.avg, s.max, opt - s.avg,
+                paper[i]);
+  }
+  std::printf(
+      "\npaper's headline claim: savings within 10-15%% of optimal are "
+      "common.\n");
+  return 0;
+}

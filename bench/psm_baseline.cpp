@@ -1,0 +1,102 @@
+// Baseline comparison: 802.11 power-save mode vs the paper's proxy
+// scheduling, for multimedia streams (Section 2: PSM "is not a good match
+// for multimedia").
+//
+// The PSM topology is assembled by hand from the library's pieces: the
+// proxy runs in passthrough mode (no shaping), the access point broadcasts
+// beacons and parks frames for dozing stations, and PsmClient dozes
+// between beacons.  The proxy rows reuse the standard scenario runner.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "client/psm_client.hpp"
+#include "exp/testbed.hpp"
+#include "proxy/scheduler.hpp"
+#include "workload/video.hpp"
+
+namespace {
+
+using namespace pp;
+
+struct PsmRun {
+  double avg_saved = 0, min_saved = 0, max_saved = 0;
+  double avg_loss = 0;
+};
+
+PsmRun run_psm(int clients, int fidelity, double duration_s) {
+  exp::TestbedParams tp;
+  tp.num_clients = 0;  // we attach PSM clients ourselves
+  tp.proxy.mode = proxy::ProxyMode::Passthrough;
+  tp.wireless.p_loss = 0.01;
+  exp::Testbed bed{tp, std::make_unique<proxy::FixedIntervalScheduler>(
+                           sim::Time::ms(500))};
+  bed.access_point().enable_psm(sim::Time::ms(100));
+
+  std::vector<std::unique_ptr<client::PsmClient>> stations;
+  for (int i = 0; i < clients; ++i) {
+    stations.push_back(std::make_unique<client::PsmClient>(
+        bed.sim(), bed.medium(), exp::testbed_client_ip(i),
+        "psm" + std::to_string(i)));
+    bed.access_point().register_psm_station(stations[i]->ip());
+  }
+
+  net::Node& server_node = bed.add_server("realserver");
+  workload::VideoServer server{server_node};
+  std::vector<std::unique_ptr<workload::VideoClient>> apps;
+  for (int i = 0; i < clients; ++i) {
+    server.expect_client(stations[i]->ip(), fidelity);
+    apps.push_back(std::make_unique<workload::VideoClient>(
+        stations[i]->node(), server_node.ip()));
+    apps[i]->play(sim::Time::seconds(2.0 + i));
+  }
+  bed.start(sim::Time::ms(500));
+  const sim::Time horizon = sim::Time::seconds(duration_s);
+  bed.run_until(horizon);
+
+  PsmRun out;
+  out.min_saved = 100.0;
+  for (auto& st : stations) {
+    const double s = 100.0 * st->energy_saved_fraction(horizon);
+    out.avg_saved += s;
+    out.min_saved = std::min(out.min_saved, s);
+    out.max_saved = std::max(out.max_saved, s);
+    out.avg_loss += 100.0 * st->loss_fraction();
+  }
+  out.avg_saved /= clients;
+  out.avg_loss /= clients;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Baseline: 802.11 PSM vs proxy scheduling (video clients)");
+
+  std::printf("%-8s %-22s %8s %8s %8s %8s\n", "stream", "policy", "avg%",
+              "min%", "max%", "loss%");
+  for (int fidelity : {0, 2, 3}) {
+    const auto psm = run_psm(10, fidelity, 140.0);
+    std::printf("%-8s %-22s %8.1f %8.1f %8.1f %8.2f\n",
+                exp::role_name(fidelity).c_str(), "802.11 PSM (100ms)",
+                psm.avg_saved, psm.min_saved, psm.max_saved, psm.avg_loss);
+
+    exp::ScenarioConfig cfg;
+    cfg.roles = std::vector<int>(10, fidelity);
+    cfg.policy = exp::IntervalPolicy::Fixed500;
+    cfg.seed = 42;
+    cfg.duration_s = 140.0;
+    const auto res = exp::run_scenario(cfg);
+    const auto s = exp::summarize_all(res.clients);
+    std::printf("%-8s %-22s %8.1f %8.1f %8.1f %8.2f\n",
+                exp::role_name(fidelity).c_str(), "proxy schedule (500ms)",
+                s.avg, s.min, s.max, exp::average_loss_pct(res.clients));
+  }
+  std::printf(
+      "\nPSM wakes for every beacon and stays up through the whole drain of "
+      "its parked\nframes; for continuous media the TIM bit is always set, "
+      "so it approximates a\n100 ms schedule without the proxy's burst "
+      "shaping — which is why the paper\nbuilds the proxy instead.\n");
+  return 0;
+}

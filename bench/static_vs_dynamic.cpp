@@ -1,0 +1,64 @@
+// Section 4.3 "Comparison to static schedules": when every client views an
+// identical-fidelity stream, a permanent equal-slot schedule needs no
+// per-interval schedule reception, lowering both the mean energy and its
+// variance — but it cannot adapt to heterogeneous or TCP traffic.
+//
+// Paper reference: static lowers average energy usage and variance for
+// identical streams (100 ms interval, ten clients at 56/256/512K); the
+// dynamic schedule wins once fidelities differ, averaging ~69% on the
+// mixed patterns.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace pp;
+  bench::heading("Static vs dynamic schedules (ten clients, 100 ms)");
+
+  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<std::string> labels;
+  for (int fidelity : {0, 2, 3}) {
+    for (auto policy : {exp::IntervalPolicy::StaticEqual100,
+                        exp::IntervalPolicy::Fixed100}) {
+      exp::ScenarioConfig cfg;
+      cfg.roles = std::vector<int>(10, fidelity);
+      cfg.policy = policy;
+      cfg.seed = 42;
+      cfg.duration_s = 140.0;
+      cfgs.push_back(cfg);
+      labels.push_back(exp::role_name(fidelity) + "/" +
+                       (policy == exp::IntervalPolicy::StaticEqual100
+                            ? "static"
+                            : "dynamic"));
+    }
+  }
+  // Heterogeneous pattern: static equal slots waste bandwidth here.
+  for (auto policy : {exp::IntervalPolicy::StaticEqual100,
+                      exp::IntervalPolicy::Fixed100}) {
+    exp::ScenarioConfig cfg;
+    cfg.roles = {0, 0, 0, 0, 0, 3, 3, 3, 3, 3};
+    cfg.policy = policy;
+    cfg.seed = 42;
+    cfg.duration_s = 140.0;
+    cfgs.push_back(cfg);
+    labels.push_back(std::string("56K_512K/") +
+                     (policy == exp::IntervalPolicy::StaticEqual100
+                          ? "static"
+                          : "dynamic"));
+  }
+  const auto results = bench::run_batch(cfgs);
+
+  std::printf("%-18s %8s %8s %8s %9s %8s\n", "pattern/policy", "avg%",
+              "min%", "max%", "spread", "loss%");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto s = exp::summarize_all(results[i].clients);
+    std::printf("%-18s %8.1f %8.1f %8.1f %9.1f %8.2f\n", labels[i].c_str(),
+                s.avg, s.min, s.max, s.max - s.min,
+                exp::average_loss_pct(results[i].clients));
+  }
+  std::printf(
+      "\npaper: static improves identical-fidelity streams (no schedule "
+      "reception),\nbut the dynamic schedule handles mixed fidelities "
+      "seamlessly.\n");
+  return 0;
+}

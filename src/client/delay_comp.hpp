@@ -1,0 +1,45 @@
+// Delay compensation (Section 3.3).
+//
+// A client must wake before its rendezvous point, but access-point jitter,
+// the proxy's thread scheduling, and clock skew shift packet arrivals.  The
+// paper's adaptive algorithm anchors every transition a fixed offset after
+// the *observed arrival time* of the previous schedule, waking an "early
+// transition amount" before the expected arrival.  Two baselines: anchoring
+// on the proxy's clock stamp (no path-delay adaptation), and no early
+// transition at all.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace pp::client {
+
+enum class CompensationMode {
+  Adaptive,    // anchor on observed schedule arrival (the paper's algorithm)
+  ProxyClock,  // anchor on the srp timestamp inside the schedule
+  None,        // adaptive anchor but no early transition
+};
+
+struct DelayCompensation {
+  CompensationMode mode = CompensationMode::Adaptive;
+  // The early transition amount: how much before the expected arrival the
+  // WNIC is woken.  6 ms is the paper's best value for 100 ms intervals.
+  sim::Duration early = sim::Time::ms(6);
+
+  // When to wake for an event nominally `offset` after the schedule.
+  // `arrival` is when the schedule reached the client; `srp_stamp` is the
+  // proxy clock value it carried.
+  sim::Time wake_time(sim::Time arrival, sim::Time srp_stamp,
+                      sim::Duration offset) const {
+    switch (mode) {
+      case CompensationMode::Adaptive:
+        return arrival + offset - early;
+      case CompensationMode::ProxyClock:
+        return srp_stamp + offset - early;
+      case CompensationMode::None:
+        return arrival + offset;
+    }
+    return arrival + offset;
+  }
+};
+
+}  // namespace pp::client

@@ -1,0 +1,113 @@
+#include "client/energy_client.hpp"
+
+#include <utility>
+
+namespace pp::client {
+
+EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
+                                     net::WirelessMedium& medium,
+                                     net::Ipv4Addr ip, std::string name,
+                                     ClientParams params)
+    : sim_{sim},
+      node_{sim, ip, std::move(name)},
+      params_{params},
+      acc_{params.power, sim.now(), energy::WnicMode::Idle},
+      daemon_{sim, ip, params.daemon,
+              [this](bool awake) {
+                acc_.set_mode(sim_.now(), awake ? energy::WnicMode::Idle
+                                                : energy::WnicMode::Sleep);
+              }},
+      start_time_{sim.now()} {
+  const auto station_id = medium.attach_station(*this, ip);
+  node_.set_transmitter([this, &medium, station_id](net::Packet pkt) {
+    // Uplink requires the radio on; app-initiated sends wake it and extend
+    // the activity hold so the response is not slept through.  Pure TCP
+    // ACKs (sent while receiving a burst) must NOT hold the radio awake,
+    // or the post-burst sleep would be lost.
+    const bool request_like =
+        pkt.proto == net::Protocol::Tcp &&
+        (pkt.tcp.syn || pkt.tcp.fin || pkt.payload > 0);
+    if (!params_.naive && request_like) daemon_.force_awake();
+    medium.transmit(station_id, std::move(pkt));
+    // The channel may be busy for a while before the frame even airs;
+    // measure the response hold from when it clears.
+    if (!params_.naive && request_like)
+      daemon_.extend_hold(medium.busy_until());
+  });
+}
+
+void EnergyAwareClient::start() {
+  if (!params_.naive) daemon_.start();
+}
+
+bool EnergyAwareClient::listening() const {
+  return params_.naive || daemon_.awake();
+}
+
+void EnergyAwareClient::deliver(net::Packet pkt, sim::Duration airtime) {
+  acc_.add_transient(energy::WnicMode::Receive, airtime);
+  traffic_.receive_airtime += airtime;
+
+  const bool is_schedule =
+      pkt.proto == net::Protocol::Udp && pkt.is_broadcast() &&
+      pkt.dst_port == proxy::kSchedulePort;
+  if (is_schedule) {
+    // Control plane: charged for energy (airtime above) but not counted as
+    // received traffic.
+    if (params_.naive) return;
+    if (auto msg =
+            std::dynamic_pointer_cast<const proxy::ScheduleMessage>(pkt.data)) {
+      daemon_.on_schedule(std::move(msg));
+    }
+    return;
+  }
+  ++traffic_.packets_received;
+  traffic_.bytes_received += pkt.payload;
+  // Hand to the stack first (so ACKs go out while we are still awake),
+  // then let the daemon act on the marked bit — a marked packet may put
+  // the radio to sleep immediately.
+  node_.handle_packet(pkt);
+  if (!params_.naive) daemon_.on_data(pkt);
+}
+
+void EnergyAwareClient::missed(const net::Packet& pkt, sim::Duration airtime) {
+  traffic_.missed_airtime += airtime;
+  if (pkt.is_broadcast()) {
+    ++traffic_.broadcasts_missed;
+  } else {
+    ++traffic_.packets_missed;
+  }
+}
+
+void EnergyAwareClient::on_air(sim::Time /*start*/, sim::Duration dur) {
+  acc_.add_transient(energy::WnicMode::Transmit, dur);
+  traffic_.transmit_airtime += dur;
+}
+
+double EnergyAwareClient::naive_energy_mj(sim::Time now) const {
+  const auto& m = acc_.model();
+  const double total_s = (now - start_time_).to_seconds();
+  const double recv_s =
+      (traffic_.receive_airtime + traffic_.missed_airtime).to_seconds();
+  const double tx_s = traffic_.transmit_airtime.to_seconds();
+  return m.mw(energy::WnicMode::Idle) * total_s +
+         (m.mw(energy::WnicMode::Receive) - m.mw(energy::WnicMode::Idle)) *
+             recv_s +
+         (m.mw(energy::WnicMode::Transmit) - m.mw(energy::WnicMode::Idle)) *
+             tx_s;
+}
+
+double EnergyAwareClient::energy_saved_fraction(sim::Time now) const {
+  const double naive = naive_energy_mj(now);
+  if (naive <= 0) return 0;
+  return 1.0 - energy_mj(now) / naive;
+}
+
+double EnergyAwareClient::loss_fraction() const {
+  const double total = static_cast<double>(traffic_.packets_received +
+                                           traffic_.packets_missed);
+  if (total <= 0) return 0;
+  return static_cast<double>(traffic_.packets_missed) / total;
+}
+
+}  // namespace pp::client

@@ -1,0 +1,83 @@
+// The live mobile client: a wireless station whose radio is governed by
+// the PowerDaemon, with WNIC energy accounting attached.
+//
+// Applications (video player, web browser, ftp) attach sockets to node().
+// Setting Params::naive produces the paper's baseline client that keeps
+// its WNIC in high-power mode for the whole run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "client/power_daemon.hpp"
+#include "energy/wnic.hpp"
+#include "net/node.hpp"
+#include "net/wireless.hpp"
+#include "proxy/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::client {
+
+struct ClientParams {
+  DaemonConfig daemon{};
+  energy::WnicPowerModel power{};
+  bool naive = false;  // never sleep (the comparison baseline)
+};
+
+struct ClientTraffic {
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_missed = 0;  // addressed to us while asleep/corrupt
+  std::uint64_t bytes_received = 0;
+  std::uint64_t broadcasts_missed = 0;
+  sim::Duration receive_airtime;
+  sim::Duration missed_airtime;
+  sim::Duration transmit_airtime;
+};
+
+class EnergyAwareClient : public net::WirelessStation {
+ public:
+  EnergyAwareClient(sim::Simulator& sim, net::WirelessMedium& medium,
+                    net::Ipv4Addr ip, std::string name,
+                    ClientParams params = {});
+
+  EnergyAwareClient(const EnergyAwareClient&) = delete;
+  EnergyAwareClient& operator=(const EnergyAwareClient&) = delete;
+
+  // Begin the power daemon (no-op for naive clients).
+  void start();
+
+  net::Node& node() { return node_; }
+  net::Ipv4Addr ip() const { return node_.ip(); }
+  PowerDaemon& daemon() { return daemon_; }
+  const DaemonStats& daemon_stats() const { return daemon_.stats(); }
+  const ClientTraffic& traffic() const { return traffic_; }
+  const energy::EnergyAccountant& accountant() const { return acc_; }
+
+  // -- Energy results ------------------------------------------------------------
+  double energy_mj(sim::Time now) const { return acc_.energy_mj(now); }
+  // What a naive client would have used over the same trace: always idle,
+  // receiving every frame addressed to it (including the ones we missed).
+  double naive_energy_mj(sim::Time now) const;
+  // 1 - energy/naive: the paper's headline metric.
+  double energy_saved_fraction(sim::Time now) const;
+  // Fraction of addressed packets missed.
+  double loss_fraction() const;
+
+  // -- net::WirelessStation --------------------------------------------------------
+  bool listening() const override;
+  void deliver(net::Packet pkt, sim::Duration airtime) override;
+  void missed(const net::Packet& pkt, sim::Duration airtime) override;
+  void on_air(sim::Time start, sim::Duration dur) override;
+
+ private:
+  sim::Simulator& sim_;
+  net::Node node_;
+  ClientParams params_;
+  energy::EnergyAccountant acc_;
+  PowerDaemon daemon_;
+  ClientTraffic traffic_;
+  sim::Time start_time_;
+};
+
+}  // namespace pp::client

@@ -1,0 +1,253 @@
+#include "client/power_daemon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace pp::client {
+
+PowerDaemon::PowerDaemon(sim::Simulator& sim, net::Ipv4Addr self,
+                         DaemonConfig cfg, WnicFn wnic)
+    : sim_{sim}, self_{self}, cfg_{cfg}, wnic_{std::move(wnic)} {}
+
+PowerDaemon::~PowerDaemon() {
+  wake_timer_.cancel();
+  grace_timer_.cancel();
+  slot_timer_.cancel();
+  resleep_timer_.cancel();
+}
+
+void PowerDaemon::set_wnic(bool awake) {
+  if (awake_ == awake) return;
+  awake_ = awake;
+  if (wnic_) wnic_(awake);
+}
+
+void PowerDaemon::start() {
+  state_ = State::AwaitingSchedule;
+  set_wnic(true);
+}
+
+void PowerDaemon::settle_first_wait() {
+  if (!waiting_first_) return;
+  waiting_first_ = false;
+  stats_.early_wait += sim_.now() - wake_started_;
+}
+
+void PowerDaemon::on_schedule(
+    std::shared_ptr<const proxy::ScheduleMessage> msg) {
+  ++stats_.schedules_received;
+  grace_timer_.cancel();
+  if (miss_active_) {
+    miss_active_ = false;
+    stats_.missed_wait += sim_.now() - miss_start_;
+  }
+  if (state_ == State::AwaitingSchedule) settle_first_wait();
+
+  if (state_ == State::Receiving) {
+    // A burst is still in progress.  Rule (1) of Section 3.2.2: defer the
+    // new schedule until the marked packet — unless one is already
+    // deferred, which means the mark was dropped; then this second
+    // schedule forcibly ends the burst.
+    if (pending_) {
+      apply_schedule(std::move(msg), sim_.now());
+    } else {
+      pending_ = std::move(msg);
+      pending_arrival_ = sim_.now();
+    }
+    return;
+  }
+  apply_schedule(std::move(msg), sim_.now());
+}
+
+void PowerDaemon::apply_schedule(
+    std::shared_ptr<const proxy::ScheduleMessage> msg, sim::Time arrival) {
+  pending_.reset();
+  slot_timer_.cancel();
+  cur_ = std::move(msg);
+  anchor_ = arrival;
+  my_entries_.clear();
+  for (const auto& e : cur_->entries)
+    if (e.client == self_) my_entries_.push_back(e);
+  std::stable_sort(my_entries_.begin(), my_entries_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.rp_offset < b.rp_offset;
+                   });
+  entry_idx_ = 0;
+  plan_next_step();
+}
+
+void PowerDaemon::plan_next_step() {
+  assert(cur_ && "plan_next_step requires an applied schedule");
+  if (entry_idx_ < my_entries_.size()) {
+    const auto& e = my_entries_[entry_idx_];
+    const sim::Time t =
+        cfg_.comp.wake_time(anchor_, cur_->srp_time, e.rp_offset);
+    sleep_until(t, State::AwaitingBurst, entry_idx_);
+    return;
+  }
+  // All bursts for this interval are done.
+  if (cur_->reuse_next && cfg_.honor_reuse && !my_entries_.empty()) {
+    // Future-work extension / static schedules: the same layout repeats, so
+    // skip the next schedule broadcast and go straight to our next RP.
+    anchor_ += cur_->interval;
+    entry_idx_ = 0;
+    plan_next_step();
+    return;
+  }
+  const sim::Time t =
+      cfg_.comp.wake_time(anchor_, cur_->srp_time, cur_->interval);
+  sleep_until(t, State::AwaitingSchedule, 0);
+}
+
+void PowerDaemon::sleep_until(sim::Time t, State next, std::size_t entry_idx) {
+  wake_timer_.cancel();
+  const sim::Time now = sim_.now();
+  if (t < now) t = now;
+  planned_wake_ = t;
+  planned_next_ = next;
+  planned_entry_ = entry_idx;
+  if (now < hold_until_ && hold_until_ < t) {
+    // Activity hold: stay awake for imminent responses, then re-evaluate.
+    state_ = next;
+    wake_timer_ = sim_.at(hold_until_, [this, t, next, entry_idx] {
+      if (state_ == next) sleep_until(t, next, entry_idx);
+    });
+    return;
+  }
+  if (t - now > cfg_.min_sleep && now >= hold_until_) {
+    set_wnic(false);
+    state_ = State::Sleeping;
+    ++stats_.sleeps;
+  }
+  wake_timer_ =
+      sim_.at(t, [this, next, entry_idx] { begin_wait(next, entry_idx); });
+}
+
+void PowerDaemon::begin_wait(State next, std::size_t entry_idx) {
+  grace_timer_.cancel();
+  slot_timer_.cancel();
+  set_wnic(true);
+  state_ = next;
+  waiting_first_ = true;
+  wake_started_ = sim_.now();
+
+  if (next == State::AwaitingSchedule) {
+    // We woke `early` before the expected arrival; the grace window runs
+    // from that expected arrival.
+    const sim::Time expected = sim_.now() + cfg_.comp.early;
+    grace_timer_ = sim_.at(expected + cfg_.schedule_grace,
+                           [this] { on_schedule_grace_expired(); });
+    return;
+  }
+  if (next == State::AwaitingBurst && cfg_.sleep_at_slot_end &&
+      entry_idx < my_entries_.size()) {
+    const auto& e = my_entries_[entry_idx];
+    const sim::Time slot_end = anchor_ + e.rp_offset + e.duration;
+    slot_timer_ =
+        sim_.at(slot_end + cfg_.slot_end_grace, [this] { on_slot_end(); });
+  }
+}
+
+void PowerDaemon::on_data(const net::Packet& pkt) {
+  // Pure control segments (handshake ACKs, FINs) are not burst data; they
+  // flow through the proxy ungated and must not disturb the burst state
+  // machine.
+  if (pkt.payload == 0 && !pkt.marked) return;
+  ++stats_.data_packets;
+  settle_first_wait();
+  if (state_ == State::AwaitingBurst || state_ == State::AwaitingSchedule) {
+    // Burst began — possibly before its schedule arrived (rule (2) of
+    // Section 3.2.2: accept data that comes before a schedule).
+    state_ = State::Receiving;
+  }
+  if (pkt.marked) end_burst(/*via_mark=*/true);
+}
+
+void PowerDaemon::end_burst(bool via_mark) {
+  if (via_mark) {
+    ++stats_.bursts_completed;
+  } else {
+    ++stats_.slot_end_sleeps;
+  }
+  slot_timer_.cancel();
+  settle_first_wait();
+
+  if (pending_) {
+    auto msg = std::move(pending_);
+    apply_schedule(std::move(msg), pending_arrival_);
+    return;
+  }
+  if (!cur_) {
+    // Mark arrived before we ever saw a schedule: stay awake for one.
+    state_ = State::AwaitingSchedule;
+    return;
+  }
+  if (miss_active_) {
+    // We missed the schedule that announced this burst but caught the data
+    // anyway.  Sleep until the *next* schedule, estimating its SRP one
+    // interval past the one we missed (Section 4.3, worst-case discussion).
+    miss_active_ = false;
+    stats_.missed_wait += sim_.now() - miss_start_;
+    anchor_ += cur_->interval;
+    my_entries_.clear();
+    entry_idx_ = 0;
+    plan_next_step();
+    return;
+  }
+  ++entry_idx_;
+  plan_next_step();
+}
+
+void PowerDaemon::on_schedule_grace_expired() {
+  if (state_ != State::AwaitingSchedule) return;
+  ++stats_.schedules_missed;
+  // The early portion of the wait was ordinary early-transition waste; the
+  // rest accrues as missed-schedule waste until a schedule shows up.
+  if (waiting_first_) {
+    waiting_first_ = false;
+    stats_.early_wait += cfg_.comp.early;
+  }
+  miss_active_ = true;
+  miss_start_ = sim_.now();
+  // Remain awake; the next schedule (or our burst's marked packet, if the
+  // data still flows) resynchronizes us.
+}
+
+void PowerDaemon::on_slot_end() {
+  if (state_ != State::AwaitingBurst && state_ != State::Receiving) return;
+  end_burst(/*via_mark=*/false);
+}
+
+void PowerDaemon::force_awake() {
+  hold_until_ = sim_.now() + cfg_.activity_hold;
+  // When the hold expires, resume the planned sleep if nothing changed.
+  resleep_timer_.cancel();
+  resleep_timer_ = sim_.at(hold_until_, [this] { maybe_resleep(); });
+  if (awake_ && state_ != State::Sleeping) return;
+  ++stats_.forced_wakes;
+  set_wnic(true);
+  // Keep the existing wake timer: the planned schedule/burst wake target is
+  // still correct, we are merely awake early waiting for a response.
+  waiting_first_ = false;
+  if (state_ == State::Sleeping) state_ = State::AwaitingSchedule;
+}
+
+void PowerDaemon::extend_hold(sim::Time base) {
+  if (base < sim_.now()) base = sim_.now();
+  const sim::Time until = base + cfg_.activity_hold;
+  if (until <= hold_until_) return;
+  hold_until_ = until;
+  resleep_timer_.cancel();
+  resleep_timer_ = sim_.at(hold_until_, [this] { maybe_resleep(); });
+}
+
+void PowerDaemon::maybe_resleep() {
+  if (sim_.now() < hold_until_) return;  // a later hold supersedes this one
+  if (!awake_ || state_ == State::Receiving) return;
+  if (!wake_timer_.pending()) return;  // no planned wake; stay up
+  if (planned_wake_ <= sim_.now()) return;
+  sleep_until(planned_wake_, planned_next_, planned_entry_);
+}
+
+}  // namespace pp::client

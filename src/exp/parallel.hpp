@@ -1,0 +1,44 @@
+// Parallel experiment fan-out.
+//
+// Each scenario runs in its own Simulator instance with no shared mutable
+// state, so whole configurations are embarrassingly parallel: a fixed pool
+// of std::jthread workers pulls indices from an atomic counter.  Results
+// land in order, so output is deterministic regardless of thread timing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace pp::exp {
+
+// Run tasks[i]() for every i, `threads`-wide; returns results in order.
+template <typename Result>
+std::vector<Result> run_parallel(
+    const std::vector<std::function<Result()>>& tasks, unsigned threads = 0) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads,
+                               static_cast<unsigned>(tasks.size() ? tasks.size() : 1));
+  std::vector<Result> results(tasks.size());
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= tasks.size()) return;
+          results[i] = tasks[i]();
+        }
+      });
+    }
+  }  // jthreads join here
+  return results;
+}
+
+}  // namespace pp::exp

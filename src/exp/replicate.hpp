@@ -1,0 +1,66 @@
+// Multi-seed replication: run one scenario under several seeds in parallel
+// and summarize the distribution of a metric — the usual way to check that
+// a single-seed result is not a fluke.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "exp/parallel.hpp"
+#include "exp/scenario.hpp"
+
+namespace pp::exp {
+
+struct ReplicateStats {
+  double mean = 0, stddev = 0, min = 0, max = 0;
+  int n = 0;
+  // Half-width of a ~95% normal confidence interval on the mean.
+  double ci95() const {
+    return n > 1 ? 1.96 * stddev / std::sqrt(static_cast<double>(n)) : 0;
+  }
+};
+
+inline ReplicateStats summarize_samples(const std::vector<double>& xs) {
+  ReplicateStats s;
+  s.n = static_cast<int>(xs.size());
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  for (double x : xs) {
+    s.mean += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean /= s.n;
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / (s.n - 1)) : 0;
+  return s;
+}
+
+// Run `cfg` under seeds base_seed .. base_seed+replicas-1 and summarize
+// `metric(result)` across the runs.
+inline ReplicateStats replicate(
+    ScenarioConfig cfg, int replicas,
+    const std::function<double(const ScenarioResult&)>& metric,
+    std::uint64_t base_seed = 1000) {
+  std::vector<std::function<double()>> tasks;
+  tasks.reserve(replicas);
+  for (int r = 0; r < replicas; ++r) {
+    ScenarioConfig c = cfg;
+    c.seed = base_seed + static_cast<std::uint64_t>(r);
+    tasks.emplace_back([c, &metric] { return metric(run_scenario(c)); });
+  }
+  return summarize_samples(run_parallel(tasks));
+}
+
+// Convenience: mean energy saved (%) across all clients.
+inline ReplicateStats replicate_saved(ScenarioConfig cfg, int replicas,
+                                      std::uint64_t base_seed = 1000) {
+  return replicate(
+      std::move(cfg), replicas,
+      [](const ScenarioResult& r) { return summarize_all(r.clients).avg; },
+      base_seed);
+}
+
+}  // namespace pp::exp

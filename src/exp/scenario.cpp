@@ -1,0 +1,208 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "workload/ftp.hpp"
+#include "workload/video.hpp"
+#include "workload/web.hpp"
+
+namespace pp::exp {
+
+std::string role_name(int role) {
+  if (role == kRoleWeb) return "TCP/web";
+  if (role == kRoleFtp) return "TCP/ftp";
+  return std::to_string(workload::kFidelities[role].nominal_kbps) + "K";
+}
+
+std::string policy_name(IntervalPolicy p) {
+  switch (p) {
+    case IntervalPolicy::Fixed100: return "100ms";
+    case IntervalPolicy::Fixed500: return "500ms";
+    case IntervalPolicy::Variable: return "variable";
+    case IntervalPolicy::StaticEqual100: return "static-100ms";
+    case IntervalPolicy::SlottedStatic500: return "slotted-500ms";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<proxy::Scheduler> make_scheduler(const ScenarioConfig& cfg) {
+  std::vector<net::Ipv4Addr> all, udp, tcp;
+  for (std::size_t i = 0; i < cfg.roles.size(); ++i) {
+    const auto ip = testbed_client_ip(static_cast<int>(i));
+    all.push_back(ip);
+    (is_video_role(cfg.roles[i]) ? udp : tcp).push_back(ip);
+  }
+  switch (cfg.policy) {
+    case IntervalPolicy::Fixed100:
+      return std::make_unique<proxy::FixedIntervalScheduler>(
+          sim::Time::ms(100));
+    case IntervalPolicy::Fixed500:
+      return std::make_unique<proxy::FixedIntervalScheduler>(
+          sim::Time::ms(500));
+    case IntervalPolicy::Variable:
+      return std::make_unique<proxy::VariableIntervalScheduler>();
+    case IntervalPolicy::StaticEqual100:
+      return std::make_unique<proxy::StaticScheduler>(sim::Time::ms(100),
+                                                      std::move(all));
+    case IntervalPolicy::SlottedStatic500:
+      if (tcp.empty() || udp.empty())
+        throw std::invalid_argument(
+            "SlottedStatic500 needs both TCP and UDP clients");
+      return std::make_unique<proxy::SlottedStaticScheduler>(
+          sim::Time::ms(500), cfg.slotted_tcp_weight, std::move(udp),
+          std::move(tcp));
+  }
+  throw std::logic_error("unknown policy");
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  TestbedParams tp;
+  tp.seed = cfg.seed;
+  tp.num_clients = static_cast<int>(cfg.roles.size());
+  if (cfg.wireless) {
+    tp.wireless = *cfg.wireless;
+  } else {
+    tp.wireless.p_loss = cfg.wireless_p_loss;
+  }
+  if (cfg.ap) tp.ap = *cfg.ap;
+  tp.client.daemon.comp.mode = cfg.compensation;
+  tp.client.daemon.comp.early = cfg.early_transition;
+  tp.client.daemon.sleep_at_slot_end =
+      cfg.policy == IntervalPolicy::SlottedStatic500;
+  tp.client.daemon.honor_reuse = cfg.honor_reuse;
+  tp.client.naive = cfg.naive_clients;
+  tp.proxy.mode = cfg.proxy_mode;
+  tp.proxy.cost_model_scale = cfg.cost_model_scale;
+
+  Testbed bed{tp, make_scheduler(cfg)};
+
+  // Servers: one multimedia server and one web/ftp server, as in the paper.
+  net::Node& video_node = bed.add_server("realserver");
+  net::Node& web_node = bed.add_server("webserver");
+
+  workload::VideoServerParams vsp;
+  vsp.adaptive = cfg.video_adaptive;
+  vsp.trace_seed = cfg.seed * 7919 + 13;
+  workload::VideoServer video_server{video_node, vsp};
+  workload::HttpServer http_server{web_node};
+  workload::FtpServer ftp_server{web_node};
+
+  std::vector<std::unique_ptr<workload::VideoClient>> video_apps;
+  std::vector<std::unique_ptr<workload::WebBrowsingClient>> web_apps;
+  std::vector<std::unique_ptr<workload::FtpClient>> ftp_apps;
+  std::vector<workload::VideoClient*> video_by_client(cfg.roles.size(),
+                                                      nullptr);
+  std::vector<workload::WebBrowsingClient*> web_by_client(cfg.roles.size(),
+                                                          nullptr);
+  std::vector<workload::FtpClient*> ftp_by_client(cfg.roles.size(), nullptr);
+
+  int video_order = 0;
+  for (std::size_t i = 0; i < cfg.roles.size(); ++i) {
+    auto& cl = bed.client(static_cast<int>(i));
+    const int role = cfg.roles[i];
+    if (is_video_role(role)) {
+      video_server.expect_client(cl.ip(), role);
+      auto app = std::make_unique<workload::VideoClient>(cl.node(),
+                                                         video_node.ip());
+      // Requests spaced roughly one second apart to spread traffic.
+      app->play(sim::Time::seconds(cfg.video_start_s +
+                                   video_order * cfg.video_spacing_s));
+      ++video_order;
+      video_by_client[i] = app.get();
+      video_apps.push_back(std::move(app));
+    } else if (role == kRoleWeb) {
+      workload::WebScriptParams wsp;
+      wsp.pages = cfg.web_pages;
+      wsp.think_mean_s = cfg.web_think_mean_s;
+      auto script = workload::generate_web_script(cfg.seed * 131 + i, wsp);
+      http_server.add_script(cl.ip(), script);
+      auto app = std::make_unique<workload::WebBrowsingClient>(
+          cl.node(), web_node.ip(), std::move(script));
+      app->start(sim::Time::seconds(1.0 + 0.3 * static_cast<double>(i)));
+      web_by_client[i] = app.get();
+      web_apps.push_back(std::move(app));
+    } else if (role == kRoleFtp) {
+      ftp_server.add_file(cl.ip(), cfg.ftp_bytes);
+      auto app = std::make_unique<workload::FtpClient>(cl.node(),
+                                                       web_node.ip());
+      app->download(sim::Time::seconds(3.0 + 0.5 * static_cast<double>(i)));
+      ftp_by_client[i] = app.get();
+      ftp_apps.push_back(std::move(app));
+    } else {
+      throw std::invalid_argument("bad role");
+    }
+  }
+
+  bed.start(sim::Time::ms(500));
+  const sim::Time horizon = sim::Time::seconds(cfg.duration_s);
+  bed.run_until(horizon);
+
+  ScenarioResult res;
+  res.horizon = horizon;
+  res.proxy_stats = bed.proxy().stats();
+  res.ap_drops = bed.access_point().downlink_dropped();
+  res.frames_on_air = bed.medium().frames_sent();
+  for (std::size_t i = 0; i < cfg.roles.size(); ++i) {
+    auto& cl = bed.client(static_cast<int>(i));
+    ClientResult r;
+    r.ip = cl.ip();
+    r.role = cfg.roles[i];
+    r.saved_pct = 100.0 * cl.energy_saved_fraction(horizon);
+    r.energy_mj = cl.energy_mj(horizon);
+    r.naive_mj = cl.naive_energy_mj(horizon);
+    r.loss_pct = 100.0 * cl.loss_fraction();
+    r.packets_received = cl.traffic().packets_received;
+    r.packets_missed = cl.traffic().packets_missed;
+    r.bytes_received = cl.traffic().bytes_received;
+    r.schedules_received = cl.daemon_stats().schedules_received;
+    r.schedules_missed = cl.daemon_stats().schedules_missed;
+    r.sleeps = cl.daemon_stats().sleeps;
+    if (auto* v = video_by_client[i]) {
+      r.app_loss_pct = 100.0 * v->loss_fraction();
+      r.video_fidelity_final = v->stats().fidelity_seen;
+      r.app_bytes = v->stats().bytes;
+    } else if (auto* w = web_by_client[i]) {
+      r.pages_completed = w->stats().pages_completed;
+      r.page_time_ms = w->stats().pages_completed > 0
+                           ? w->stats().total_page_time.to_ms() /
+                                 w->stats().pages_completed
+                           : 0;
+      r.app_bytes = w->stats().bytes_received;
+    } else if (auto* f = ftp_by_client[i]) {
+      r.ftp_seconds = f->stats().finished ? f->stats().transfer_seconds() : -1;
+      r.app_bytes = f->stats().bytes_received;
+    }
+    res.clients.push_back(r);
+  }
+  if (cfg.keep_trace) res.trace = bed.monitor().take();
+  return res;
+}
+
+Summary summarize_all(const std::vector<ClientResult>& clients) {
+  return summarize_saved(clients, [](const ClientResult&) { return true; });
+}
+
+Summary summarize_video(const std::vector<ClientResult>& clients) {
+  return summarize_saved(
+      clients, [](const ClientResult& c) { return is_video_role(c.role); });
+}
+
+Summary summarize_tcp(const std::vector<ClientResult>& clients) {
+  return summarize_saved(
+      clients, [](const ClientResult& c) { return !is_video_role(c.role); });
+}
+
+double average_loss_pct(const std::vector<ClientResult>& clients) {
+  if (clients.empty()) return 0;
+  double s = 0;
+  for (const auto& c : clients) s += c.loss_pct;
+  return s / static_cast<double>(clients.size());
+}
+
+}  // namespace pp::exp

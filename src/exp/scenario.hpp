@@ -1,0 +1,133 @@
+// Scenario runners for the paper's experiments (Section 4).
+//
+// One generic runner covers the three experiment families — all-video
+// (Figure 4), all-web (the "Multiple TCP clients" text result), and mixed
+// video + TCP (Figure 5) — plus the static and slotted-static baselines
+// (Section 4.3 / Figure 7) and the drop studies.  Each client is assigned
+// a role: a video fidelity, web browsing, or an ftp download.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/power_daemon.hpp"
+#include "exp/testbed.hpp"
+#include "proxy/transparent_proxy.hpp"
+#include "trace/record.hpp"
+
+namespace pp::exp {
+
+// Client roles.
+inline constexpr int kRoleWeb = -1;
+inline constexpr int kRoleFtp = -2;
+// Non-negative role values are video fidelity indices (see
+// workload::kFidelities): 0=56K, 1=128K, 2=256K, 3=512K.
+
+inline bool is_video_role(int role) { return role >= 0; }
+std::string role_name(int role);
+
+enum class IntervalPolicy {
+  Fixed100,
+  Fixed500,
+  Variable,
+  StaticEqual100,   // Section 4.3 static-schedule comparison
+  SlottedStatic500,  // Figure 7: fixed TCP + UDP slots
+};
+std::string policy_name(IntervalPolicy p);
+
+struct ScenarioConfig {
+  std::vector<int> roles;  // one per client
+  IntervalPolicy policy = IntervalPolicy::Fixed500;
+  std::uint64_t seed = 1;
+  sim::Duration early_transition = sim::Time::ms(6);
+  client::CompensationMode compensation = client::CompensationMode::Adaptive;
+  double slotted_tcp_weight = 0.33;  // only for SlottedStatic500
+  proxy::ProxyMode proxy_mode = proxy::ProxyMode::Splice;
+  double cost_model_scale = 1.0;  // ablation: mis-calibrated send cost
+  bool honor_reuse = true;        // ablation: schedule-reuse extension
+  bool naive_clients = false;     // baseline: WNIC always in high power
+  double duration_s = 140.0;
+  double video_start_s = 2.0;
+  double video_spacing_s = 1.0;  // requests spaced ~1 s apart (Section 4.1)
+  std::uint64_t ftp_bytes = 3'000'000;
+  int web_pages = 20;
+  double web_think_mean_s = 4.0;
+  bool keep_trace = false;  // retain the monitoring-station trace
+  // Default per-frame corruption probability on the wireless medium (real
+  // 802.11b loses the occasional frame; lost marks and schedules are what
+  // produce the paper's worst-case clients).
+  double wireless_p_loss = 0.01;
+  // Optional substrate overrides (drop studies, DummyNet-style shaping);
+  // when set, wireless_p_loss is ignored.
+  std::optional<net::WirelessParams> wireless;
+  std::optional<net::AccessPointParams> ap;
+  bool video_adaptive = true;  // RealServer loss adaptation on/off
+};
+
+struct ClientResult {
+  net::Ipv4Addr ip;
+  int role = 0;
+  double saved_pct = 0;     // energy saved vs naive, percent
+  double energy_mj = 0;
+  double naive_mj = 0;
+  double loss_pct = 0;      // packets addressed to the client it missed
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_missed = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t schedules_received = 0;
+  std::uint64_t schedules_missed = 0;
+  std::uint64_t sleeps = 0;
+  // Application-level metrics (role-dependent).
+  double app_loss_pct = 0;       // video: sequence-gap loss
+  int video_fidelity_final = -1; // video: fidelity after adaptation
+  double page_time_ms = 0;       // web: mean page completion time
+  int pages_completed = 0;       // web
+  double ftp_seconds = 0;        // ftp: transfer duration
+  std::uint64_t app_bytes = 0;
+};
+
+struct ScenarioResult {
+  std::vector<ClientResult> clients;
+  proxy::ProxyStats proxy_stats;
+  sim::Time horizon;
+  trace::TraceBuffer trace;  // populated when keep_trace
+  std::uint64_t ap_drops = 0;
+  std::uint64_t frames_on_air = 0;
+};
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+// -- Summaries --------------------------------------------------------------------
+
+struct Summary {
+  double avg = 0, min = 0, max = 0;
+  int n = 0;
+};
+
+// Summarize saved_pct over clients matching `pred` (all when empty).
+template <typename Pred>
+Summary summarize_saved(const std::vector<ClientResult>& clients, Pred pred) {
+  Summary s;
+  for (const auto& c : clients) {
+    if (!pred(c)) continue;
+    if (s.n == 0) {
+      s.min = s.max = c.saved_pct;
+    } else {
+      s.min = std::min(s.min, c.saved_pct);
+      s.max = std::max(s.max, c.saved_pct);
+    }
+    s.avg += c.saved_pct;
+    ++s.n;
+  }
+  if (s.n > 0) s.avg /= s.n;
+  return s;
+}
+
+Summary summarize_all(const std::vector<ClientResult>& clients);
+Summary summarize_video(const std::vector<ClientResult>& clients);
+Summary summarize_tcp(const std::vector<ClientResult>& clients);
+double average_loss_pct(const std::vector<ClientResult>& clients);
+
+}  // namespace pp::exp

@@ -1,0 +1,77 @@
+#include "exp/testbed.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pp::exp {
+
+net::Ipv4Addr testbed_client_ip(int i) {
+  return net::Ipv4Addr::octets(172, 16, 0, static_cast<std::uint8_t>(i + 1));
+}
+
+Testbed::Testbed(TestbedParams params,
+                 std::unique_ptr<proxy::Scheduler> scheduler)
+    : params_{params},
+      sim_{params.seed},
+      lan_{sim_, params.lan},
+      proxy_{std::make_unique<proxy::TransparentProxy>(
+          sim_, std::move(scheduler), params.proxy)},
+      medium_{sim_, params.wireless},
+      ap_{sim_, medium_, params.ap},
+      monitor_{medium_} {
+  // Bridge port: all LAN traffic to unknown (wireless) addresses lands here.
+  bridge_port_ = lan_.attach_default(proxy_->wired_sink());
+  proxy_->set_wired_tx([this](net::Packet pkt) {
+    lan_.send(bridge_port_, std::move(pkt));
+  });
+
+  // Proxy <-> AP point-to-point link.
+  proxy_ap_link_ = std::make_unique<net::PointToPointLink>(
+      sim_, params_.proxy_ap, proxy_->wireless_sink(), ap_);
+  proxy_->set_wireless_tx([this](net::Packet pkt) {
+    proxy_ap_link_->send_a_to_b(std::move(pkt));
+  });
+  ap_uplink_sink_ = std::make_unique<net::ChannelSink>(
+      proxy_ap_link_->b_to_a());
+  ap_.set_uplink_sink(*ap_uplink_sink_);
+
+  // Clients.
+  clients_.reserve(params_.num_clients);
+  for (int i = 0; i < params_.num_clients; ++i) {
+    clients_.push_back(std::make_unique<client::EnergyAwareClient>(
+        sim_, medium_, testbed_client_ip(i), "client" + std::to_string(i),
+        params_.client));
+  }
+}
+
+net::Node& Testbed::add_server(const std::string& name) {
+  if (started_) throw std::logic_error("Testbed: add_server after start");
+  const auto ip =
+      net::Ipv4Addr::octets(10, 0, 0, static_cast<std::uint8_t>(next_server_++));
+  auto node = std::make_unique<net::Node>(sim_, ip, name);
+  const auto port = lan_.attach(*node, ip);
+  net::Node* raw = node.get();
+  raw->set_transmitter([this, port](net::Packet pkt) {
+    lan_.send(port, std::move(pkt));
+  });
+  servers_.push_back(std::move(node));
+  return *raw;
+}
+
+std::vector<net::Ipv4Addr> Testbed::client_ips() const {
+  std::vector<net::Ipv4Addr> ips;
+  ips.reserve(clients_.size());
+  for (const auto& c : clients_) ips.push_back(c->ip());
+  return ips;
+}
+
+void Testbed::start(sim::Time first_srp) {
+  assert(!started_);
+  started_ = true;
+  proxy_->calibrate(medium_);
+  for (const auto& ip : client_ips()) proxy_->register_client(ip);
+  proxy_->start(first_srp);
+  for (auto& c : clients_) c->start();
+}
+
+}  // namespace pp::exp

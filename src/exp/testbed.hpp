@@ -1,0 +1,90 @@
+// Experiment testbed: the full topology of Figure 1.
+//
+//   servers --- 100 Mbps Ethernet --- [transparent proxy] --- access point
+//                                                                  |
+//                                       shared 11 Mbps wireless medium
+//                                          |        |          |
+//                                       client1  client2 ... monitoring
+//                                                             station
+//
+// The proxy is the LAN's default (bridge) port, so all traffic destined to
+// wireless clients flows through it, and a point-to-point link joins it to
+// the access point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/energy_client.hpp"
+#include "net/access_point.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/wireless.hpp"
+#include "proxy/scheduler.hpp"
+#include "proxy/transparent_proxy.hpp"
+#include "sim/simulator.hpp"
+#include "trace/monitor.hpp"
+
+namespace pp::exp {
+
+struct TestbedParams {
+  std::uint64_t seed = 1;
+  int num_clients = 10;
+  net::WiredParams lan{};          // 100 Mbps Fast Ethernet
+  net::WiredParams proxy_ap{};     // proxy <-> AP link
+  net::WirelessParams wireless{};  // shared 11 Mbps medium
+  net::AccessPointParams ap{};
+  client::ClientParams client{};
+  proxy::ProxyParams proxy{};
+};
+
+class Testbed {
+ public:
+  Testbed(TestbedParams params, std::unique_ptr<proxy::Scheduler> scheduler);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  // -- Topology access ------------------------------------------------------------
+  sim::Simulator& sim() { return sim_; }
+  net::WirelessMedium& medium() { return medium_; }
+  proxy::TransparentProxy& proxy() { return *proxy_; }
+  trace::MonitoringStation& monitor() { return monitor_; }
+  net::AccessPoint& access_point() { return ap_; }
+
+  // Add a wired server (10.0.0.<n>).  Must precede start().
+  net::Node& add_server(const std::string& name);
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  client::EnergyAwareClient& client(int i) { return *clients_.at(i); }
+  net::Ipv4Addr client_ip(int i) const { return clients_.at(i)->ip(); }
+  std::vector<net::Ipv4Addr> client_ips() const;
+
+  // Calibrate the proxy's cost model, start the schedule loop at
+  // `first_srp`, and start every client daemon.
+  void start(sim::Time first_srp = sim::Time::ms(500));
+
+  void run_until(sim::Time t) { sim_.run_until(t); }
+
+ private:
+  TestbedParams params_;
+  sim::Simulator sim_;
+  net::EthernetLan lan_;
+  std::unique_ptr<proxy::TransparentProxy> proxy_;
+  net::EthernetLan::PortId bridge_port_;
+  net::WirelessMedium medium_;
+  net::AccessPoint ap_;
+  std::unique_ptr<net::PointToPointLink> proxy_ap_link_;
+  std::unique_ptr<net::ChannelSink> ap_uplink_sink_;
+  trace::MonitoringStation monitor_;
+  std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;
+  std::vector<std::unique_ptr<net::Node>> servers_;
+  int next_server_ = 1;
+  bool started_ = false;
+};
+
+// Client address helper: clients are 172.16.0.<i+1>.
+net::Ipv4Addr testbed_client_ip(int i);
+
+}  // namespace pp::exp

@@ -1,0 +1,121 @@
+#include "net/access_point.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pp::net {
+
+AccessPoint::AccessPoint(sim::Simulator& sim, WirelessMedium& medium,
+                         AccessPointParams params)
+    : sim_{sim}, medium_{medium}, params_{params} {
+  radio_id_ = medium_.attach_access_point(*this);
+}
+
+void AccessPoint::handle_packet(Packet pkt) {
+  // PSM stations' frames are parked until the next beacon indicates them.
+  if (psm_enabled_) {
+    auto it = psm_queues_.find(pkt.dst);
+    if (it != psm_queues_.end()) {
+      // Per-station parking cap, separate from the forwarding backlog.
+      std::uint64_t held = 0;
+      for (const auto& p : it->second) held += p.wire_size();
+      if (held + pkt.wire_size() > params_.queue_limit_bytes) {
+        ++dropped_;
+        return;
+      }
+      it->second.push_back(std::move(pkt));
+      return;
+    }
+  }
+  forward_downlink(std::move(pkt));
+}
+
+void AccessPoint::forward_downlink(Packet pkt) {
+  if (backlog_bytes_ + pkt.wire_size() > params_.queue_limit_bytes) {
+    ++dropped_;
+    return;
+  }
+  backlog_bytes_ += pkt.wire_size();
+
+  sim::Duration delay = params_.base_delay;
+  auto& rng = sim_.rng();
+  delay += sim::Time::ns(static_cast<std::int64_t>(
+      rng.uniform() * static_cast<double>(params_.jitter_max.count_ns())));
+  if (params_.p_spike > 0 && rng.chance(params_.p_spike)) {
+    delay += sim::Time::ns(static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(params_.spike_max.count_ns())));
+  }
+  // FIFO: a frame never departs before its predecessor.
+  sim::Time depart = sim_.now() + delay;
+  if (depart < last_departure_) depart = last_departure_;
+  last_departure_ = depart;
+
+  const std::uint32_t wire = pkt.wire_size();
+  sim_.at(depart, [this, wire, p = std::move(pkt)]() mutable {
+    assert(backlog_bytes_ >= wire);
+    backlog_bytes_ -= wire;
+    ++forwarded_;
+    medium_.transmit(radio_id_, std::move(p));
+  });
+}
+
+void AccessPoint::deliver(Packet pkt, sim::Duration /*airtime*/) {
+  if (uplink_ == nullptr)
+    throw std::logic_error("AccessPoint: uplink sink not set");
+  uplink_->handle_packet(std::move(pkt));
+}
+
+void AccessPoint::enable_psm(sim::Duration interval) {
+  psm_enabled_ = true;
+  beacon_interval_ = interval;
+  beacon_timer_ = sim_.after(interval, [this] { send_beacon(); });
+}
+
+void AccessPoint::register_psm_station(Ipv4Addr ip) {
+  psm_queues_.emplace(ip, std::deque<Packet>{});
+}
+
+std::uint64_t AccessPoint::psm_buffered_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& [ip, q] : psm_queues_) n += q.size();
+  return n;
+}
+
+void AccessPoint::send_beacon() {
+  auto msg = std::make_shared<BeaconMessage>();
+  msg->seq_no = ++beacon_seq_;
+  msg->beacon_interval = beacon_interval_;
+  for (const auto& [ip, q] : psm_queues_)
+    if (!q.empty()) msg->tim.push_back(ip);
+
+  Packet beacon = make_packet();
+  beacon.dst = Ipv4Addr::broadcast();
+  beacon.dst_port = kBeaconPort;
+  beacon.src_port = kBeaconPort;
+  beacon.proto = Protocol::Udp;
+  beacon.payload = 24 + static_cast<std::uint32_t>(msg->tim.size()) * 4;
+  beacon.data = std::move(msg);
+  beacon.sent_at = sim_.now();
+  ++beacons_sent_;
+  medium_.transmit(radio_id_, std::move(beacon));
+
+  // Release parked frames once the beacon has reached the stations and
+  // the awake ones have PS-Polled; a dozing station's frames stay parked
+  // for a later beacon.
+  const sim::Time polled = medium_.busy_until() + sim::Time::us(200);
+  sim_.at(polled, [this] {
+    for (auto& [ip, q] : psm_queues_) {
+      if (q.empty() || !medium_.station_listening(ip)) continue;
+      while (!q.empty()) {
+        Packet p = std::move(q.front());
+        q.pop_front();
+        if (q.empty()) p.marked = true;
+        forward_downlink(std::move(p));
+      }
+    }
+  });
+  beacon_timer_ = sim_.after(beacon_interval_, [this] { send_beacon(); });
+}
+
+}  // namespace pp::net

@@ -1,0 +1,83 @@
+// The wireless access point: bridges the proxy's wired link onto the
+// shared medium (downlink) and forwards station frames upstream (uplink).
+//
+// Downlink frames pass through a FIFO queue whose service adds a base
+// forwarding delay plus random jitter — the access-point delay variation
+// that Section 3.3 of the paper compensates for on the clients.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/psm.hpp"
+#include "net/wireless.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::net {
+
+struct AccessPointParams {
+  sim::Duration base_delay = sim::Time::us(300);
+  // Uniform jitter added to every forwarded frame.
+  sim::Duration jitter_max = sim::Time::us(500);
+  // Occasionally the AP stalls (CPU contention, management frames): with
+  // probability p_spike an extra uniform [0, spike_max) delay is added.
+  double p_spike = 0.02;
+  sim::Duration spike_max = sim::Time::ms(6);
+  std::uint64_t queue_limit_bytes = 512 * 1024;
+};
+
+class AccessPoint : public PacketSink, public WirelessStation {
+ public:
+  AccessPoint(sim::Simulator& sim, WirelessMedium& medium,
+              AccessPointParams params = {});
+
+  // Where uplink (station -> wired) frames are forwarded.  Must be set
+  // before any station transmits.
+  void set_uplink_sink(PacketSink& sink) { uplink_ = &sink; }
+
+  // PacketSink (wired side, downlink direction).
+  void handle_packet(Packet pkt) override;
+
+  // WirelessStation (radio side).
+  bool listening() const override { return true; }
+  void deliver(Packet pkt, sim::Duration airtime) override;
+
+  std::uint64_t downlink_dropped() const { return dropped_; }
+  std::uint64_t downlink_forwarded() const { return forwarded_; }
+  std::uint64_t backlog_bytes() const { return backlog_bytes_; }
+
+  // -- 802.11 power-save mode (see net/psm.hpp) -----------------------------------
+  // Begin broadcasting beacons every `interval`.  Frames destined to
+  // stations registered via register_psm_station() are buffered and
+  // released after the beacon that indicates them.
+  void enable_psm(sim::Duration interval);
+  void register_psm_station(Ipv4Addr ip);
+  std::uint64_t beacons_sent() const { return beacons_sent_; }
+  std::uint64_t psm_buffered_frames() const;
+
+ private:
+  void send_beacon();
+  void forward_downlink(Packet pkt);
+  sim::Simulator& sim_;
+  WirelessMedium& medium_;
+  WirelessMedium::StationId radio_id_;
+  AccessPointParams params_;
+  PacketSink* uplink_ = nullptr;
+  sim::Time last_departure_ = sim::Time::zero();
+  std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t forwarded_ = 0;
+
+  // PSM state.
+  bool psm_enabled_ = false;
+  sim::Duration beacon_interval_;
+  std::uint64_t beacon_seq_ = 0;
+  std::uint64_t beacons_sent_ = 0;
+  std::unordered_map<Ipv4Addr, std::deque<Packet>, Ipv4AddrHash> psm_queues_;
+  sim::EventHandle beacon_timer_;
+};
+
+}  // namespace pp::net

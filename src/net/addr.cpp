@@ -1,0 +1,21 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+
+namespace pp::net {
+
+std::string Ipv4Addr::str() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (raw_ >> 24) & 0xff,
+                (raw_ >> 16) & 0xff, (raw_ >> 8) & 0xff, raw_ & 0xff);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4Addr a) { return os << a.str(); }
+
+std::string FlowKey::str() const {
+  return src.str() + ":" + std::to_string(src_port) + "->" + dst.str() + ":" +
+         std::to_string(dst_port) + "/" + to_string(proto);
+}
+
+}  // namespace pp::net

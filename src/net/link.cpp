@@ -1,0 +1,73 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pp::net {
+
+Channel::Channel(sim::Simulator& sim, WiredParams params, PacketSink& sink)
+    : sim_{sim}, params_{params}, sink_{sink} {}
+
+sim::Duration Channel::tx_time(const Packet& pkt) const {
+  const double bits =
+      8.0 * static_cast<double>(pkt.wire_size() + params_.framing_bytes);
+  return sim::Time::seconds(bits / params_.rate_bps);
+}
+
+bool Channel::transmit(Packet pkt) {
+  if (backlog_bytes_ + pkt.wire_size() > params_.queue_limit_bytes) {
+    ++packets_dropped_;
+    return false;
+  }
+  const sim::Time start =
+      busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const sim::Time done = start + tx_time(pkt);
+  busy_until_ = done;
+  backlog_bytes_ += pkt.wire_size();
+  ++packets_sent_;
+  const std::uint32_t wire = pkt.wire_size();
+  sim_.at(done + params_.propagation,
+          [this, wire, p = std::move(pkt)]() mutable {
+            assert(backlog_bytes_ >= wire);
+            backlog_bytes_ -= wire;
+            sink_.handle_packet(std::move(p));
+          });
+  return true;
+}
+
+EthernetLan::EthernetLan(sim::Simulator& sim, WiredParams params)
+    : sim_{sim}, params_{params} {}
+
+EthernetLan::PortId EthernetLan::do_attach(PacketSink& sink) {
+  egress_.push_back(std::make_unique<Channel>(sim_, params_, sink));
+  return egress_.size() - 1;
+}
+
+EthernetLan::PortId EthernetLan::attach(PacketSink& sink, Ipv4Addr ip) {
+  const PortId port = do_attach(sink);
+  by_ip_.emplace(ip, port);
+  return port;
+}
+
+EthernetLan::PortId EthernetLan::attach_default(PacketSink& sink) {
+  default_port_ = do_attach(sink);
+  return default_port_;
+}
+
+bool EthernetLan::send(PortId from, Packet pkt) {
+  auto it = by_ip_.find(pkt.dst);
+  PortId to;
+  if (it != by_ip_.end()) {
+    to = it->second;
+  } else if (default_port_ != static_cast<PortId>(-1)) {
+    to = default_port_;
+  } else {
+    throw std::runtime_error("EthernetLan: no route for " + pkt.dst.str());
+  }
+  if (to == from) return false;  // would loop back; treat as misrouted
+  ++packets_forwarded_;
+  return egress_[to]->transmit(std::move(pkt));
+}
+
+}  // namespace pp::net

@@ -1,0 +1,118 @@
+// Wired link models: a serializing unidirectional channel, a full-duplex
+// point-to-point link, and a switched Ethernet LAN with a designated
+// default (bridge) port for transparent-proxy topologies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::net {
+
+// Anything that can accept a packet.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void handle_packet(Packet pkt) = 0;
+};
+
+struct WiredParams {
+  double rate_bps = 100e6;                       // Fast Ethernet
+  sim::Duration propagation = sim::Time::us(5);  // cable + switch latency
+  std::uint32_t framing_bytes = 38;              // preamble+MAC+FCS+IFG
+  std::uint32_t queue_limit_bytes = 1 << 20;     // drop-tail beyond this
+};
+
+// One direction of a wired link: serializes transmissions at `rate_bps`,
+// models a drop-tail egress queue, then delivers after propagation delay.
+class Channel {
+ public:
+  Channel(sim::Simulator& sim, WiredParams params, PacketSink& sink);
+
+  // Queue a packet for transmission; returns false if dropped (queue full).
+  bool transmit(Packet pkt);
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  // Bytes currently waiting (committed but not yet on the wire).
+  std::uint64_t backlog_bytes() const { return backlog_bytes_; }
+
+ private:
+  sim::Duration tx_time(const Packet& pkt) const;
+
+  sim::Simulator& sim_;
+  WiredParams params_;
+  PacketSink& sink_;
+  sim::Time busy_until_ = sim::Time::zero();
+  std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+// Full-duplex point-to-point link between two sinks.
+class PointToPointLink {
+ public:
+  PointToPointLink(sim::Simulator& sim, WiredParams params, PacketSink& a,
+                   PacketSink& b)
+      : a_to_b_{sim, params, b}, b_to_a_{sim, params, a} {}
+
+  bool send_a_to_b(Packet pkt) { return a_to_b_.transmit(std::move(pkt)); }
+  bool send_b_to_a(Packet pkt) { return b_to_a_.transmit(std::move(pkt)); }
+
+  Channel& a_to_b() { return a_to_b_; }
+  Channel& b_to_a() { return b_to_a_; }
+
+ private:
+  Channel a_to_b_;
+  Channel b_to_a_;
+};
+
+// Adapts a Channel (transmit side) to the PacketSink interface, so devices
+// that push to a sink can feed a serializing channel.
+class ChannelSink : public PacketSink {
+ public:
+  explicit ChannelSink(Channel& ch) : ch_{ch} {}
+  void handle_packet(Packet pkt) override { ch_.transmit(std::move(pkt)); }
+
+ private:
+  Channel& ch_;
+};
+
+// A switched LAN: each attached port gets its own egress channel.  Frames
+// are forwarded to the port owning the destination IP; unknown destinations
+// go to the default port (the transparent proxy's bridge port), which is
+// how server->client traffic reaches the proxy.
+class EthernetLan {
+ public:
+  using PortId = std::size_t;
+
+  EthernetLan(sim::Simulator& sim, WiredParams params = {});
+
+  // Attach a device; packets destined to it are delivered to `sink`.
+  PortId attach(PacketSink& sink, Ipv4Addr ip);
+  // Attach the bridge/default device (no IP of its own).
+  PortId attach_default(PacketSink& sink);
+
+  // Send from a port.  Returns false if the egress queue dropped it.
+  bool send(PortId from, Packet pkt);
+
+  std::uint64_t packets_forwarded() const { return packets_forwarded_; }
+
+ private:
+  PortId do_attach(PacketSink& sink);
+
+  sim::Simulator& sim_;
+  WiredParams params_;
+  std::vector<std::unique_ptr<Channel>> egress_;  // one per port
+  std::unordered_map<Ipv4Addr, PortId, Ipv4AddrHash> by_ip_;
+  PortId default_port_ = static_cast<PortId>(-1);
+  std::uint64_t packets_forwarded_ = 0;
+};
+
+}  // namespace pp::net

@@ -1,0 +1,69 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pp::net {
+
+Node::Node(sim::Simulator& sim, Ipv4Addr ip, std::string name)
+    : sim_{sim}, ip_{ip}, name_{std::move(name)} {}
+
+void Node::send(Packet pkt) {
+  if (!tx_) throw std::logic_error("Node " + name_ + ": no transmitter");
+  pkt.sent_at = sim_.now();
+  tx_(std::move(pkt));
+}
+
+void Node::bind_udp(Port port, DatagramHandler& h) {
+  if (!udp_.emplace(port, &h).second)
+    throw std::logic_error(name_ + ": UDP port already bound");
+}
+
+void Node::unbind_udp(Port port) { udp_.erase(port); }
+
+void Node::register_tcp(const FlowKey& incoming, SegmentHandler& h) {
+  if (!tcp_.emplace(incoming, &h).second)
+    throw std::logic_error(name_ + ": TCP flow already registered: " +
+                           incoming.str());
+}
+
+void Node::unregister_tcp(const FlowKey& incoming) { tcp_.erase(incoming); }
+
+void Node::listen_tcp(Port port, TcpAcceptFn accept) {
+  listeners_[port] = std::move(accept);
+}
+
+void Node::unlisten_tcp(Port port) { listeners_.erase(port); }
+
+void Node::handle_packet(Packet pkt) {
+  ++packets_received_;
+  if (pkt.proto == Protocol::Udp) {
+    auto it = udp_.find(pkt.dst_port);
+    if (it != udp_.end()) {
+      it->second->on_datagram(pkt);
+    } else {
+      ++packets_unrouted_;
+    }
+    return;
+  }
+  // TCP: established flows first, then listeners for SYNs.
+  auto it = tcp_.find(pkt.flow());
+  if (it != tcp_.end()) {
+    it->second->on_segment(pkt);
+    return;
+  }
+  if (pkt.tcp.syn && !pkt.tcp.ack_flag) {
+    auto lit = listeners_.find(pkt.dst_port);
+    if (lit != listeners_.end()) {
+      if (SegmentHandler* h = lit->second(pkt)) {
+        register_tcp(pkt.flow(), *h);
+        h->on_segment(pkt);
+        return;
+      }
+    }
+  }
+  ++packets_unrouted_;
+}
+
+}  // namespace pp::net

@@ -1,0 +1,29 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace pp::net {
+
+Packet make_packet() {
+  static std::atomic<std::uint64_t> next_id{1};
+  Packet p;
+  p.id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+std::string Packet::str() const {
+  std::ostringstream os;
+  os << "#" << id << " " << flow().str() << " len=" << payload;
+  if (proto == Protocol::Tcp) {
+    os << " seq=" << tcp.seq << " ack=" << tcp.ack;
+    if (tcp.syn) os << " SYN";
+    if (tcp.fin) os << " FIN";
+    if (tcp.rst) os << " RST";
+    if (tcp.ack_flag) os << " ACK";
+  }
+  if (marked) os << " [MARK]";
+  return os.str();
+}
+
+}  // namespace pp::net

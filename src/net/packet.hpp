@@ -1,0 +1,73 @@
+// The simulated packet.
+//
+// Packets are value types: copying is cheap (application payloads are held
+// by shared_ptr, byte contents are modelled by counts, not buffers).  The
+// type-of-service `marked` bit is the paper's end-of-burst marker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace pp::net {
+
+// Base class for application-level messages carried inside packets
+// (e.g. the proxy's schedule broadcast).  Most packets carry none.
+struct Message {
+  virtual ~Message() = default;
+};
+
+struct TcpHeader {
+  std::uint64_t seq = 0;  // first sequence number carried
+  std::uint64_t ack = 0;  // cumulative ack
+  std::uint32_t wnd = 0;  // advertised receive window (bytes)
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+struct Packet {
+  // Globally unique id, assigned by make_packet(); used by traces and tests.
+  std::uint64_t id = 0;
+
+  Ipv4Addr src;
+  Port src_port = 0;
+  Ipv4Addr dst;
+  Port dst_port = 0;
+  Protocol proto = Protocol::Udp;
+
+  // Application payload bytes carried (0 for pure ACKs / control segments).
+  std::uint32_t payload = 0;
+
+  TcpHeader tcp;  // meaningful only when proto == Tcp
+
+  // End-of-burst marker (the IP TOS bit of Section 3.2).
+  bool marked = false;
+
+  // Timestamp when the original sender handed the packet to the network.
+  sim::Time sent_at;
+
+  // Optional application message (schedule broadcasts, receiver reports...).
+  std::shared_ptr<const Message> data;
+
+  bool is_broadcast() const { return dst.is_broadcast(); }
+
+  FlowKey flow() const { return {src, src_port, dst, dst_port, proto}; }
+
+  // Bytes on the wire: payload plus IP + transport headers.  Link-layer
+  // framing overhead is charged by the link models, not here.
+  std::uint32_t wire_size() const {
+    return payload + 20u + (proto == Protocol::Tcp ? 20u : 8u);
+  }
+
+  std::string str() const;
+};
+
+// Factory stamping a fresh unique id (monotonic, process-wide).
+Packet make_packet();
+
+}  // namespace pp::net

@@ -1,0 +1,107 @@
+#include "net/wireless.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pp::net {
+
+WirelessMedium::WirelessMedium(sim::Simulator& sim, WirelessParams params)
+    : sim_{sim}, params_{params} {}
+
+WirelessMedium::StationId WirelessMedium::attach_access_point(
+    WirelessStation& ap) {
+  if (ap_ != kNoStation)
+    throw std::logic_error("WirelessMedium: access point already attached");
+  stations_.push_back(Entry{&ap, Ipv4Addr{}});
+  ap_ = stations_.size() - 1;
+  return ap_;
+}
+
+WirelessMedium::StationId WirelessMedium::attach_station(WirelessStation& st,
+                                                         Ipv4Addr ip) {
+  stations_.push_back(Entry{&st, ip});
+  return stations_.size() - 1;
+}
+
+bool WirelessMedium::station_listening(Ipv4Addr ip) const {
+  for (const auto& e : stations_) {
+    if (e.ip == ip) return e.station->listening();
+  }
+  return false;
+}
+
+sim::Duration WirelessMedium::airtime_of(const Packet& pkt) const {
+  const double rate =
+      pkt.is_broadcast() ? params_.broadcast_rate_bps : params_.rate_bps;
+  const double bits =
+      8.0 * static_cast<double>(pkt.wire_size() + params_.mac_framing_bytes);
+  return params_.per_frame_overhead + sim::Time::seconds(bits / rate);
+}
+
+void WirelessMedium::transmit(StationId sender, Packet pkt) {
+  assert(sender < stations_.size());
+  const sim::Duration airtime = airtime_of(pkt);
+  const sim::Time start =
+      busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const sim::Time end = start + airtime;
+  busy_until_ = end;
+  ++frames_sent_;
+  stations_[sender].station->on_air(start, airtime);
+  sim_.at(end + params_.propagation,
+          [this, sender, airtime, start, p = std::move(pkt)]() mutable {
+            finish_frame(sender, std::move(p), start, airtime);
+          });
+}
+
+void WirelessMedium::deliver_to(StationId receiver, const Packet& pkt,
+                                sim::Time air_start, sim::Duration airtime,
+                                bool& any_delivered) {
+  (void)air_start;
+  WirelessStation& st = *stations_[receiver].station;
+  const bool corrupted = params_.p_loss > 0 && sim_.rng().chance(params_.p_loss);
+  if (st.listening() && !corrupted) {
+    st.deliver(pkt, airtime);
+    any_delivered = true;
+  } else {
+    st.missed(pkt, airtime);
+    ++frames_missed_;
+  }
+}
+
+void WirelessMedium::finish_frame(StationId sender, Packet pkt,
+                                  sim::Time air_start, sim::Duration airtime) {
+  if (ap_ == kNoStation)
+    throw std::logic_error("WirelessMedium: no access point attached");
+  bool any_delivered = false;
+  if (sender == ap_) {
+    if (pkt.is_broadcast()) {
+      for (StationId i = 0; i < stations_.size(); ++i) {
+        if (i == ap_) continue;
+        deliver_to(i, pkt, air_start, airtime, any_delivered);
+      }
+    } else {
+      // Unicast downlink: find the addressed station.
+      bool found = false;
+      for (StationId i = 0; i < stations_.size(); ++i) {
+        if (i != ap_ && stations_[i].ip == pkt.dst) {
+          deliver_to(i, pkt, air_start, airtime, any_delivered);
+          found = true;
+          break;
+        }
+      }
+      if (!found) ++frames_missed_;  // no such station; frame vanishes
+    }
+  } else {
+    // Uplink: always handed to the access point (infrastructure mode).
+    deliver_to(ap_, pkt, air_start, airtime, any_delivered);
+  }
+  const bool from_ap = sender == ap_;
+  if (!sniffers_.empty()) {
+    SnifferRecord rec{std::move(pkt), air_start, airtime, from_ap,
+                      any_delivered};
+    for (auto& s : sniffers_) s(rec);
+  }
+}
+
+}  // namespace pp::net

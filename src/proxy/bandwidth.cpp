@@ -1,0 +1,74 @@
+#include "proxy/bandwidth.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pp::proxy {
+
+void BandwidthEstimator::fit(const std::vector<Sample>& samples) {
+  assert(samples.size() >= 2);
+  // Ordinary least squares on (x = payload, y = seconds).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& s : samples) {
+    const double x = static_cast<double>(s.payload_bytes);
+    sx += x;
+    sy += s.seconds;
+    sxx += x * x;
+    sxy += x * s.seconds;
+  }
+  const double denom = n * sxx - sx * sx;
+  assert(std::abs(denom) > 1e-12);
+  b_ = (n * sxy - sx * sy) / denom;
+  a_ = (sy - b_ * sx) / n;
+  if (a_ < 0) a_ = 0;
+  if (b_ < 0) b_ = 0;
+  fitted_ = true;
+}
+
+sim::Duration BandwidthEstimator::bulk_cost(std::uint64_t bytes,
+                                            std::uint32_t mtu,
+                                            std::uint32_t ack_bytes) const {
+  if (bytes == 0) return sim::Time::zero();
+  assert(mtu > 0);
+  const std::uint64_t full = bytes / mtu;
+  const std::uint32_t tail = static_cast<std::uint32_t>(bytes % mtu);
+  double secs = static_cast<double>(full) *
+                (a_ + b_ * static_cast<double>(mtu));
+  if (tail > 0) secs += a_ + b_ * static_cast<double>(tail);
+  const std::uint64_t npkts = full + (tail > 0 ? 1 : 0);
+  if (ack_bytes > 0) {
+    secs += static_cast<double>(npkts) *
+            (a_ + b_ * static_cast<double>(ack_bytes));
+  }
+  return sim::Time::seconds(secs);
+}
+
+std::uint64_t BandwidthEstimator::payload_budget(sim::Duration slot,
+                                                 std::uint32_t mtu,
+                                                 std::uint32_t ack_bytes) const {
+  // The small epsilon keeps bulk_cost() -> payload_budget() round trips
+  // exact: a slot sized for N bytes must yield a budget of at least N, or
+  // queue tails (single bytes) can never drain.
+  const double eps = 1e-9;
+  const double slot_s = slot.to_seconds() + eps;
+  if (slot_s <= 0) return 0;
+  // Cost per full packet (+ ack); derive whole packets, then fit the tail.
+  const double per_pkt = a_ + b_ * static_cast<double>(mtu) +
+                         (ack_bytes > 0
+                              ? a_ + b_ * static_cast<double>(ack_bytes)
+                              : 0.0);
+  const double full = std::floor(slot_s / per_pkt + eps);
+  std::uint64_t bytes = static_cast<std::uint64_t>(full) * mtu;
+  double rem = slot_s - full * per_pkt;
+  const double tail_fixed =
+      a_ + (ack_bytes > 0 ? a_ + b_ * static_cast<double>(ack_bytes) : 0.0);
+  if (rem > tail_fixed && b_ > 0) {
+    const double tail = std::min(static_cast<double>(mtu - 1),
+                                 (rem - tail_fixed) / b_ + 0.5);
+    if (tail > 0) bytes += static_cast<std::uint64_t>(tail);
+  }
+  return bytes;
+}
+
+}  // namespace pp::proxy

@@ -1,0 +1,66 @@
+// The linear send-cost model of Section 3.2.2 ("Bandwidth Constraints").
+//
+// The proxy cannot push bytes to the access point faster than the wireless
+// medium drains them, or a client's burst spills into the next client's
+// slot.  The paper runs microbenchmarks and fits a linear cost function of
+// message size; we do the same: sample the channel's per-frame airtime at a
+// range of payload sizes and least-squares fit  cost(n) = a + b*n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pp::proxy {
+
+class BandwidthEstimator {
+ public:
+  // Fit from (payload bytes, channel seconds) samples.
+  struct Sample {
+    std::uint32_t payload_bytes;
+    double seconds;
+  };
+
+  BandwidthEstimator() = default;
+  explicit BandwidthEstimator(const std::vector<Sample>& samples) {
+    fit(samples);
+  }
+
+  void fit(const std::vector<Sample>& samples);
+
+  bool fitted() const { return fitted_; }
+  double overhead_seconds() const { return a_; }
+  double seconds_per_byte() const { return b_; }
+
+  // Channel time to deliver one packet with `payload` bytes.
+  sim::Duration packet_cost(std::uint32_t payload) const {
+    return sim::Time::seconds(a_ + b_ * static_cast<double>(payload));
+  }
+
+  // Channel time to deliver `bytes` of payload split into `mtu`-sized
+  // packets, each optionally followed by a small acknowledgement frame of
+  // `ack_bytes` (pass 0 for UDP).
+  sim::Duration bulk_cost(std::uint64_t bytes, std::uint32_t mtu,
+                          std::uint32_t ack_bytes = 0) const;
+
+  // Channel time for an already-packetized queue: `packets` frames
+  // totalling `bytes` of payload.  Datagram queues keep their original
+  // framing, so the per-packet overhead must be charged per queued packet,
+  // not per MTU-sized chunk.
+  sim::Duration queue_cost(std::uint64_t packets, std::uint64_t bytes) const {
+    return sim::Time::seconds(static_cast<double>(packets) * a_ +
+                              static_cast<double>(bytes) * b_);
+  }
+
+  // Largest payload byte count whose bulk_cost fits within `slot`.
+  std::uint64_t payload_budget(sim::Duration slot, std::uint32_t mtu,
+                               std::uint32_t ack_bytes = 0) const;
+
+ private:
+  double a_ = 1e-3;   // conservative defaults until fitted
+  double b_ = 2e-6;
+  bool fitted_ = false;
+};
+
+}  // namespace pp::proxy

@@ -1,0 +1,31 @@
+#include "proxy/marker.hpp"
+
+#include <cassert>
+
+namespace pp::proxy {
+
+void BurstMarker::on_egress(net::Packet& pkt) {
+  if (pkt.proto != net::Protocol::Tcp || pkt.tcp.syn) return;
+  if (pkt.payload == 0) {
+    // A FIN with all burst bytes already on the wire is the true end of
+    // the burst when the connection closes here.
+    if (pkt.tcp.fin && armed_ && expect_fin_ && q_ >= m_) {
+      pkt.marked = true;
+      disarm();
+      ++marks_;
+    }
+    return;
+  }
+  // Wire seq -> data coordinates (SYN occupies wire seq 0).
+  const std::uint64_t data_end = (pkt.tcp.seq - 1) + pkt.payload;
+  if (data_end <= q_) return;  // retransmission: Q does not advance
+  q_ = data_end;
+  assert(q_ <= s_ && "IPQ thread cannot send bytes never written");
+  if (armed_ && q_ >= m_ && !expect_fin_) {
+    pkt.marked = true;
+    disarm();
+    ++marks_;
+  }
+}
+
+}  // namespace pp::proxy

@@ -1,0 +1,72 @@
+// The packet-marking protocol of Section 3.2.2 ("Packet Marking").
+//
+// A burst is terminated by a marked packet (the IP TOS bit) so the client
+// knows when to sleep.  For TCP this is subtle: the bursting thread decides
+// *which byte* ends the burst, but the segment carrying that byte is built
+// later (and may be delayed by the congestion window).  The paper uses
+// three shared variables per client-side socket:
+//
+//   S — bytes written into the socket by the bursting thread,
+//   Q — bytes sent on the wire by the IPQ thread (first transmissions only;
+//       retransmissions do not advance Q, so S >= Q is an invariant),
+//   M — the byte number to mark; when Q reaches M the IPQ thread marks the
+//       packet and resets M.
+//
+// Because writing into our simulated socket can emit segments synchronously,
+// the bursting side must arm M *before* the final write (arm_after).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace pp::proxy {
+
+class BurstMarker {
+ public:
+  // -- Bursting-thread side ----------------------------------------------------
+  // Record `n` bytes written into the socket (call after arming if these
+  // are the final bytes of a burst).
+  void bytes_written(std::uint64_t n) { s_ += n; }
+  // Arm the mark at S + n: the burst ends after `n` more written bytes.
+  void arm_after(std::uint64_t n) {
+    m_ = s_ + n;
+    armed_ = true;
+    expect_fin_ = false;
+  }
+  // Arm the mark at the current S (everything written so far ends the burst).
+  void arm_now() { arm_after(0); }
+  // Like arm_after, but the connection closes at the end of this burst: the
+  // mark rides the FIN segment (the true last packet) instead of the last
+  // data segment, so the client does not sleep before the FIN arrives.
+  void arm_after_with_fin(std::uint64_t n) {
+    arm_after(n);
+    expect_fin_ = true;
+  }
+  void disarm() {
+    armed_ = false;
+    expect_fin_ = false;
+  }
+
+  // -- IPQ-thread side -----------------------------------------------------------
+  // Inspect an outgoing segment; advances Q for first transmissions and
+  // sets pkt.marked when the armed byte leaves.  `data_end` is the data
+  // coordinate one past the segment's last payload byte.
+  void on_egress(net::Packet& pkt);
+
+  // -- Introspection ---------------------------------------------------------------
+  std::uint64_t written() const { return s_; }   // S
+  std::uint64_t sent() const { return q_; }      // Q
+  bool armed() const { return armed_; }
+  std::uint64_t marks_emitted() const { return marks_; }
+
+ private:
+  std::uint64_t s_ = 0;
+  std::uint64_t q_ = 0;
+  std::uint64_t m_ = 0;
+  bool armed_ = false;
+  bool expect_fin_ = false;
+  std::uint64_t marks_ = 0;
+};
+
+}  // namespace pp::proxy

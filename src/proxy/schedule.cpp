@@ -1,0 +1,18 @@
+#include "proxy/schedule.hpp"
+
+#include <sstream>
+
+namespace pp::proxy {
+
+std::string ScheduleMessage::str() const {
+  std::ostringstream os;
+  os << "schedule#" << seq_no << " interval=" << interval.str();
+  if (reuse_next) os << " reuse";
+  for (const auto& e : entries) {
+    os << " [" << e.client.str() << " rp=" << e.rp_offset.str()
+       << " dur=" << e.duration.str() << "]";
+  }
+  return os.str();
+}
+
+}  // namespace pp::proxy

@@ -1,0 +1,144 @@
+#include "proxy/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pp::proxy {
+namespace {
+
+// Channel time to drain one client's queue, TCP acks included.
+sim::Duration demand_cost(const ClientDemand& d, const BandwidthEstimator& est,
+                          const SlotParams& sp) {
+  const sim::Duration udp =
+      d.udp_packets > 0 ? est.queue_cost(d.udp_packets, d.udp_bytes)
+                        : est.bulk_cost(d.udp_bytes, sp.mtu);
+  return udp + est.bulk_cost(d.tcp_bytes, sp.mtu, sp.tcp_ack_bytes);
+}
+
+// Lay out entries back-to-back starting at `lead`, in the order given.
+std::vector<ScheduleEntry> lay_out(
+    const std::vector<std::pair<net::Ipv4Addr, sim::Duration>>& slots,
+    sim::Duration lead) {
+  std::vector<ScheduleEntry> entries;
+  entries.reserve(slots.size());
+  sim::Duration offset = lead;
+  for (const auto& [ip, dur] : slots) {
+    entries.push_back(ScheduleEntry{ip, offset, dur});
+    offset += dur;
+  }
+  return entries;
+}
+
+}  // namespace
+
+BuiltSchedule FixedIntervalScheduler::build(
+    const std::vector<ClientDemand>& demands, const BandwidthEstimator& est) {
+  const sim::Duration available = interval_ - sp_.lead;
+  std::vector<std::pair<net::Ipv4Addr, sim::Duration>> slots;
+  std::vector<std::uint64_t> bytes;
+  sim::Duration total = sim::Time::zero();
+  std::uint64_t total_bytes = 0;
+  for (const auto& d : demands) {
+    if (d.total() == 0) continue;
+    const sim::Duration cost = demand_cost(d, est, sp_) + sp_.burst_guard;
+    slots.emplace_back(d.ip, cost);
+    bytes.push_back(d.total());
+    total += cost;
+    total_bytes += d.total();
+  }
+  if (total > available && total_bytes > 0) {
+    // Overcommitted: each active client gets a fraction of the available
+    // interval proportional to its queue depth (Section 3.2.1).
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const double share = static_cast<double>(bytes[i]) /
+                           static_cast<double>(total_bytes);
+      slots[i].second = sim::Time::ns(static_cast<std::int64_t>(
+          share * static_cast<double>(available.count_ns())));
+    }
+  }
+  return BuiltSchedule{interval_, false, lay_out(slots, sp_.lead)};
+}
+
+BuiltSchedule VariableIntervalScheduler::build(
+    const std::vector<ClientDemand>& demands, const BandwidthEstimator& est) {
+  // Size the interval so every client can empty its queue.
+  std::vector<std::pair<net::Ipv4Addr, sim::Duration>> slots;
+  sim::Duration total = sim::Time::zero();
+  for (const auto& d : demands) {
+    if (d.total() == 0) continue;
+    const sim::Duration cost = demand_cost(d, est, sp_) + sp_.burst_guard;
+    slots.emplace_back(d.ip, cost);
+    total += cost;
+  }
+  sim::Duration interval = sp_.lead + total;
+  if (interval < min_) interval = min_;
+  if (interval > max_) {
+    // Demand exceeds the cap: shrink slots proportionally.
+    const sim::Duration available = max_ - sp_.lead;
+    const double scale = available.ratio(total);
+    for (auto& [ip, dur] : slots) {
+      dur = sim::Time::ns(static_cast<std::int64_t>(
+          scale * static_cast<double>(dur.count_ns())));
+    }
+    interval = max_;
+  }
+  return BuiltSchedule{interval, false, lay_out(slots, sp_.lead)};
+}
+
+BuiltSchedule StaticScheduler::build(const std::vector<ClientDemand>&,
+                                     const BandwidthEstimator&) {
+  // Permanent equal slots, independent of demand.
+  assert(!clients_.empty());
+  const sim::Duration available = interval_ - sp_.lead;
+  const sim::Duration each =
+      available / static_cast<std::int64_t>(clients_.size());
+  std::vector<std::pair<net::Ipv4Addr, sim::Duration>> slots;
+  slots.reserve(clients_.size());
+  for (const auto& ip : clients_) slots.emplace_back(ip, each);
+  BuiltSchedule out{interval_, /*reuse_next=*/true, lay_out(slots, sp_.lead)};
+  return out;
+}
+
+SlottedStaticScheduler::SlottedStaticScheduler(
+    sim::Duration interval, double tcp_weight,
+    std::vector<net::Ipv4Addr> udp_clients,
+    std::vector<net::Ipv4Addr> tcp_clients, SlotParams sp)
+    : interval_{interval},
+      tcp_weight_{tcp_weight},
+      udp_clients_{std::move(udp_clients)},
+      tcp_clients_{std::move(tcp_clients)},
+      sp_{sp} {
+  assert(tcp_weight_ > 0 && tcp_weight_ < 1);
+}
+
+BuiltSchedule SlottedStaticScheduler::build(const std::vector<ClientDemand>&,
+                                            const BandwidthEstimator&) {
+  const sim::Duration available = interval_ - sp_.lead;
+  const sim::Duration tcp_slot = sim::Time::ns(static_cast<std::int64_t>(
+      tcp_weight_ * static_cast<double>(available.count_ns())));
+  std::vector<ScheduleEntry> entries;
+  // Every client is awake during the TCP slot so that background TCP
+  // latency stays bounded (Section 4.3 / Figure 7).
+  for (const auto& ip : tcp_clients_)
+    entries.push_back(ScheduleEntry{ip, sp_.lead, tcp_slot, SlotKind::TcpOnly});
+  for (const auto& ip : udp_clients_)
+    entries.push_back(ScheduleEntry{ip, sp_.lead, tcp_slot, SlotKind::TcpOnly});
+  // Then equal UDP slots in the remainder.
+  if (!udp_clients_.empty()) {
+    const sim::Duration udp_total = available - tcp_slot;
+    const sim::Duration each =
+        udp_total / static_cast<std::int64_t>(udp_clients_.size());
+    sim::Duration offset = sp_.lead + tcp_slot;
+    for (const auto& ip : udp_clients_) {
+      entries.push_back(ScheduleEntry{ip, offset, each, SlotKind::UdpOnly});
+      offset += each;
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const ScheduleEntry& a, const ScheduleEntry& b) {
+                     return a.rp_offset < b.rp_offset;
+                   });
+  return BuiltSchedule{interval_, /*reuse_next=*/true, std::move(entries)};
+}
+
+}  // namespace pp::proxy

@@ -1,0 +1,123 @@
+// Burst-schedule construction policies (Section 3.2.1).
+//
+// At each SRP the proxy snapshots every client's packet-queue depth and
+// asks a Scheduler to lay out the coming burst interval.  Four policies:
+//
+//  * FixedIntervalScheduler  — fixed interval (the paper's 100 ms / 500 ms);
+//    each active client gets a slice proportional to its queue depth when
+//    demand exceeds the interval, or exactly its drain cost otherwise.
+//  * VariableIntervalScheduler — interval sized so every client drains its
+//    queue (clamped to [min, max]).
+//  * StaticScheduler — permanent equal slots for a fixed client set; the
+//    schedule never changes, so it is broadcast with the reuse flag and
+//    clients skip waking for subsequent schedule messages.
+//  * SlottedStaticScheduler — the Figure 7 baseline: a fixed TCP slot (all
+//    clients awake) followed by equal per-client UDP slots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proxy/bandwidth.hpp"
+#include "proxy/schedule.hpp"
+#include "sim/time.hpp"
+
+namespace pp::proxy {
+
+// Snapshot of one client's buffered downlink data at an SRP.
+struct ClientDemand {
+  net::Ipv4Addr ip;
+  std::uint64_t udp_bytes = 0;
+  std::uint64_t tcp_bytes = 0;
+  // Queued datagram count (UDP keeps its original framing, so its channel
+  // cost depends on the packet count, not just bytes).
+  std::uint64_t udp_packets = 0;
+
+  std::uint64_t total() const { return udp_bytes + tcp_bytes; }
+};
+
+struct BuiltSchedule {
+  sim::Duration interval;
+  bool reuse_next = false;
+  std::vector<ScheduleEntry> entries;  // sorted by rp_offset
+};
+
+struct SlotParams {
+  // Gap between the SRP and the first burst: covers the schedule frame's
+  // own airtime plus client wake slack.
+  sim::Duration lead = sim::Time::ms(4);
+  // Idle guard appended to each burst to absorb access-point jitter.
+  sim::Duration burst_guard = sim::Time::ms(1);
+  std::uint32_t mtu = 1400;
+  std::uint32_t tcp_ack_bytes = 40;  // uplink ack airtime charged to TCP
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual BuiltSchedule build(const std::vector<ClientDemand>& demands,
+                              const BandwidthEstimator& est) = 0;
+};
+
+class FixedIntervalScheduler final : public Scheduler {
+ public:
+  explicit FixedIntervalScheduler(sim::Duration interval, SlotParams sp = {})
+      : interval_{interval}, sp_{sp} {}
+  BuiltSchedule build(const std::vector<ClientDemand>& demands,
+                      const BandwidthEstimator& est) override;
+
+ private:
+  sim::Duration interval_;
+  SlotParams sp_;
+};
+
+class VariableIntervalScheduler final : public Scheduler {
+ public:
+  VariableIntervalScheduler(sim::Duration min_interval = sim::Time::ms(100),
+                            sim::Duration max_interval = sim::Time::ms(500),
+                            SlotParams sp = {})
+      : min_{min_interval}, max_{max_interval}, sp_{sp} {}
+  BuiltSchedule build(const std::vector<ClientDemand>& demands,
+                      const BandwidthEstimator& est) override;
+
+ private:
+  sim::Duration min_;
+  sim::Duration max_;
+  SlotParams sp_;
+};
+
+class StaticScheduler final : public Scheduler {
+ public:
+  StaticScheduler(sim::Duration interval, std::vector<net::Ipv4Addr> clients,
+                  SlotParams sp = {})
+      : interval_{interval}, clients_{std::move(clients)}, sp_{sp} {}
+  BuiltSchedule build(const std::vector<ClientDemand>& demands,
+                      const BandwidthEstimator& est) override;
+
+ private:
+  sim::Duration interval_;
+  std::vector<net::Ipv4Addr> clients_;
+  SlotParams sp_;
+};
+
+class SlottedStaticScheduler final : public Scheduler {
+ public:
+  // `tcp_weight` in (0, 1): fraction of the interval reserved for the TCP
+  // slot, during which every client is awake.
+  SlottedStaticScheduler(sim::Duration interval, double tcp_weight,
+                         std::vector<net::Ipv4Addr> udp_clients,
+                         std::vector<net::Ipv4Addr> tcp_clients,
+                         SlotParams sp = {});
+  BuiltSchedule build(const std::vector<ClientDemand>& demands,
+                      const BandwidthEstimator& est) override;
+
+ private:
+  sim::Duration interval_;
+  double tcp_weight_;
+  std::vector<net::Ipv4Addr> udp_clients_;
+  std::vector<net::Ipv4Addr> tcp_clients_;
+  SlotParams sp_;
+};
+
+}  // namespace pp::proxy

@@ -1,0 +1,405 @@
+#include "proxy/transparent_proxy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace pp::proxy {
+
+TransparentProxy::TransparentProxy(sim::Simulator& sim,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   ProxyParams params)
+    : sim_{sim},
+      scheduler_{std::move(scheduler)},
+      params_{params},
+      wired_sink_{*this, /*wired=*/true},
+      wireless_sink_{*this, /*wired=*/false} {
+  // Non-negotiable transport settings for the splice to work.
+  params_.server_side_tcp.manual_consume = true;
+  params_.client_side_tcp.defer_rtx_when_gated = true;
+}
+
+TransparentProxy::~TransparentProxy() {
+  tick_handle_.cancel();
+  for (auto& h : burst_handles_) h.cancel();
+}
+
+void TransparentProxy::calibrate(const net::WirelessMedium& medium) {
+  // Microbenchmark of Section 3.2.2: sample per-frame channel time over a
+  // range of payload sizes and fit the linear send-cost model.
+  std::vector<BandwidthEstimator::Sample> samples;
+  for (std::uint32_t payload : {40u, 200u, 400u, 600u, 800u, 1000u, 1200u,
+                                1400u}) {
+    net::Packet probe = net::make_packet();
+    probe.dst = net::Ipv4Addr::octets(172, 16, 0, 200);
+    probe.proto = net::Protocol::Udp;
+    probe.payload = payload;
+    samples.push_back({payload, medium.airtime_of(probe).to_seconds() *
+                                    params_.cost_model_scale});
+  }
+  estimator_.fit(samples);
+}
+
+void TransparentProxy::start(sim::Time first_srp) {
+  if (!wired_tx_ || !wireless_tx_)
+    throw std::logic_error("TransparentProxy: transmitters not wired");
+  running_ = true;
+  tick_handle_ = sim_.at(first_srp, [this] { schedule_tick(); });
+}
+
+void TransparentProxy::stop() {
+  running_ = false;
+  tick_handle_.cancel();
+  for (auto& h : burst_handles_) h.cancel();
+  burst_handles_.clear();
+}
+
+std::uint64_t TransparentProxy::buffered_bytes(net::Ipv4Addr client) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return 0;
+  std::uint64_t total = it->second->pkt_q_bytes;
+  for (const Splice* s : it->second->splices)
+    total += s->buffered + s->client_side->bytes_unsent();
+  return total;
+}
+
+TransparentProxy::ClientState& TransparentProxy::client_state(
+    net::Ipv4Addr ip) {
+  auto it = clients_.find(ip);
+  if (it == clients_.end()) {
+    auto cs = std::make_unique<ClientState>();
+    cs->ip = ip;
+    cs->last_activity = sim_.now();
+    it = clients_.emplace(ip, std::move(cs)).first;
+    client_order_.push_back(ip);
+  }
+  return *it->second;
+}
+
+void TransparentProxy::enqueue_downlink(net::Packet pkt) {
+  ClientState& cs = client_state(pkt.dst);
+  cs.last_activity = sim_.now();
+  if (cs.pkt_q_bytes + pkt.payload > params_.queue_limit_bytes) {
+    ++stats_.queue_drops;
+    return;
+  }
+  cs.pkt_q_bytes += pkt.payload;
+  cs.pkt_q.push_back(std::move(pkt));
+  ++stats_.queued_packets;
+}
+
+void TransparentProxy::on_wired_packet(net::Packet pkt) {
+  if (params_.mode == ProxyMode::Passthrough) {
+    wireless_tx_(std::move(pkt));
+    return;
+  }
+  if (pkt.proto == net::Protocol::Tcp &&
+      params_.mode == ProxyMode::Splice) {
+    auto it = by_server_flow_.find(pkt.flow());
+    if (it != by_server_flow_.end()) {
+      it->second->server_side->on_segment(pkt);
+    } else {
+      ++stats_.unmatched_packets;  // e.g. segments for a reaped splice
+    }
+    return;
+  }
+  // UDP downlink (and, in BufferedPassthrough, raw TCP) is buffered.
+  enqueue_downlink(std::move(pkt));
+}
+
+void TransparentProxy::on_wireless_packet(net::Packet pkt) {
+  if (params_.mode != ProxyMode::Splice) {
+    wired_tx_(std::move(pkt));
+    return;
+  }
+  if (pkt.proto == net::Protocol::Udp) {
+    wired_tx_(std::move(pkt));  // uplink passes through unshaped
+    return;
+  }
+  auto it = by_client_flow_.find(pkt.flow());
+  if (it != by_client_flow_.end()) {
+    it->second->client_side->on_segment(pkt);
+    return;
+  }
+  if (pkt.tcp.syn && !pkt.tcp.ack_flag) {
+    Splice& s = create_splice(pkt);
+    s.client_side->on_segment(pkt);
+    return;
+  }
+  ++stats_.unmatched_packets;
+}
+
+TransparentProxy::Splice& TransparentProxy::create_splice(
+    const net::Packet& syn) {
+  // Figure 3: the client's SYN to the server is terminated locally by a
+  // client-side socket masquerading as the server (steps 1-4), and a
+  // server-side socket masquerading as the client opens the onward
+  // connection (steps 5-8).  Header rewriting is implicit: each socket is
+  // constructed with the spoofed endpoints.
+  auto splice = std::make_unique<Splice>();
+  Splice* sp = splice.get();
+  sp->key = syn.flow();
+  sp->client_ip = syn.src;
+
+  const transport::Endpoint client_ep{syn.src, syn.src_port};
+  const transport::Endpoint server_ep{syn.dst, syn.dst_port};
+
+  sp->client_side = std::make_unique<transport::TcpConnection>(
+      sim_,
+      [this, sp](net::Packet p) {
+        sp->marker.on_egress(p);
+        wireless_tx_(std::move(p));
+      },
+      /*local=*/server_ep, /*remote=*/client_ep, params_.client_side_tcp,
+      /*passive=*/true);
+  sp->server_side = std::make_unique<transport::TcpConnection>(
+      sim_, [this](net::Packet p) { wired_tx_(std::move(p)); },
+      /*local=*/client_ep, /*remote=*/server_ep, params_.server_side_tcp,
+      /*passive=*/false);
+
+  sp->client_side->set_send_gate(false);  // data flows only in bursts
+
+  sp->server_side->set_on_deliver([this, sp](std::uint64_t n) {
+    sp->buffered += n;
+    client_state(sp->client_ip).last_activity = sim_.now();
+  });
+  sp->server_side->set_on_remote_fin([this, sp] {
+    sp->server_fin = true;
+    maybe_finish_splice(*sp);
+  });
+  sp->client_side->set_on_deliver(
+      [sp](std::uint64_t n) { sp->server_side->send(n); });  // uplink bytes
+  sp->client_side->set_on_remote_fin([sp] {
+    // Client finished sending; propagate the half-close upstream.
+    sp->server_side->close();
+  });
+
+  by_server_flow_.emplace(sp->key.reversed(), sp);
+  client_state(syn.src).splices.push_back(sp);
+  ++stats_.splices_created;
+  auto [it, ok] = by_client_flow_.emplace(sp->key, std::move(splice));
+  assert(ok);
+  sp->server_side->connect();
+  return *it->second;
+}
+
+void TransparentProxy::maybe_finish_splice(Splice& s) {
+  // Once the server has finished and every byte has been handed to the
+  // client-side socket, close toward the client (the FIN rides the next
+  // burst, since FIN emission respects the send gate).
+  if (s.server_fin && s.buffered == 0 && !s.client_close_requested) {
+    s.client_close_requested = true;
+    s.client_side->close();
+  }
+}
+
+void TransparentProxy::reap_splices() {
+  std::vector<net::FlowKey> done;
+  for (auto& [key, sp] : by_client_flow_) {
+    if (sp->client_side->done() && sp->server_side->done())
+      done.push_back(key);
+  }
+  for (const auto& key : done) {
+    auto it = by_client_flow_.find(key);
+    Splice* sp = it->second.get();
+    by_server_flow_.erase(key.reversed());
+    auto& vec = client_state(sp->client_ip).splices;
+    std::erase(vec, sp);
+    by_client_flow_.erase(it);
+    ++stats_.splices_closed;
+  }
+}
+
+void TransparentProxy::schedule_tick() {
+  if (!running_) return;
+  reap_splices();
+  burst_handles_.clear();
+
+  std::vector<ClientDemand> demands;
+  demands.reserve(client_order_.size());
+  for (const auto& ip : client_order_) {
+    const ClientState& cs = *clients_.at(ip);
+    ClientDemand d;
+    d.ip = ip;
+    d.udp_bytes = cs.pkt_q_bytes;
+    d.udp_packets = cs.pkt_q.size();
+    for (const Splice* s : cs.splices) {
+      d.tcp_bytes += s->buffered + s->client_side->bytes_unsent();
+      // A pending or unacknowledged FIN needs a slot too (it only leaves,
+      // or is retransmitted, when the gate opens).
+      if (s->client_side->close_pending() || s->client_side->fin_unacked())
+        d.tcp_bytes += 40;
+    }
+    demands.push_back(d);
+  }
+
+  BuiltSchedule built = scheduler_->build(demands, estimator_);
+
+  auto msg = std::make_shared<ScheduleMessage>();
+  msg->seq_no = ++schedule_seq_;
+  msg->srp_time = sim_.now();
+  msg->interval = built.interval;
+  msg->reuse_next = built.reuse_next;
+  msg->entries = built.entries;
+  last_schedule_ = msg;
+
+  net::Packet bc = net::make_packet();
+  bc.src = params_.proxy_ip;
+  bc.src_port = kSchedulePort;
+  bc.dst = net::Ipv4Addr::broadcast();
+  bc.dst_port = kSchedulePort;
+  bc.proto = net::Protocol::Udp;
+  bc.payload = msg->serialized_bytes();
+  bc.data = msg;
+  bc.sent_at = sim_.now();
+  wireless_tx_(std::move(bc));
+  ++stats_.schedules_sent;
+
+  const sim::Time srp = sim_.now();
+  for (const ScheduleEntry& entry : msg->entries) {
+    burst_handles_.push_back(
+        sim_.at(srp + entry.rp_offset, [this, entry] { open_burst(entry); }));
+    burst_handles_.push_back(sim_.at(srp + entry.rp_offset + entry.duration,
+                                     [this, entry] { close_burst(entry); }));
+  }
+  tick_handle_ = sim_.at(srp + built.interval, [this] { schedule_tick(); });
+}
+
+void TransparentProxy::open_burst(const ScheduleEntry& entry) {
+  ClientState& cs = client_state(entry.client);
+  ++stats_.bursts_opened;
+  sim::Duration budget = entry.duration - params_.slots.burst_guard;
+  if (budget < sim::Time::zero()) budget = sim::Time::zero();
+  double budget_s = budget.to_seconds();
+  double spent_s = 0;
+
+  // Phase 1: buffered raw packets (UDP, or everything in
+  // BufferedPassthrough mode), paced by the send-cost model.
+  std::vector<net::Packet> raw;
+  if (entry.kind != SlotKind::TcpOnly) {
+    while (!cs.pkt_q.empty()) {
+      const double cost =
+          estimator_.packet_cost(cs.pkt_q.front().payload).to_seconds();
+      if (spent_s + cost > budget_s) break;
+      spent_s += cost;
+      raw.push_back(std::move(cs.pkt_q.front()));
+      cs.pkt_q.pop_front();
+      cs.pkt_q_bytes -= raw.back().payload;
+    }
+  }
+
+  // Phase 2: plan the TCP allowance for the remaining slot time.
+  struct Plan {
+    Splice* splice;
+    std::uint64_t chunk;
+    std::uint64_t pre_unsent;
+  };
+  std::vector<Plan> plans;
+  bool any_tcp = false;
+  if (entry.kind != SlotKind::UdpOnly &&
+      params_.mode == ProxyMode::Splice) {
+    const sim::Duration remaining = sim::Time::seconds(budget_s - spent_s);
+    std::uint64_t allowance = estimator_.payload_budget(
+        remaining, params_.slots.mtu, params_.slots.tcp_ack_bytes);
+    for (Splice* s : cs.splices) {
+      const std::uint64_t pre = s->client_side->bytes_unsent();
+      const std::uint64_t pre_use = std::min(allowance, pre);
+      allowance -= pre_use;
+      const std::uint64_t chunk = std::min(allowance, s->buffered);
+      allowance -= chunk;
+      plans.push_back({s, chunk, pre});
+      if (chunk > 0 || pre > 0) any_tcp = true;
+    }
+    // Guaranteed progress: a scheduled burst always moves at least one
+    // segment of buffered data, even if rounding left no allowance (the
+    // burst guard absorbs the overrun).
+    if (!any_tcp) {
+      for (auto& p : plans) {
+        if (p.splice->buffered > 0) {
+          p.chunk = std::min<std::uint64_t>(p.splice->buffered,
+                                            params_.slots.mtu);
+          any_tcp = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Burst termination (Section 3.2.2): the very last packet of the burst
+  // carries the mark.  TCP data is sent after raw packets, so if any TCP
+  // bytes will flow, arm the last active splice's marker; otherwise mark
+  // the final raw packet; otherwise synthesize a tiny marked control
+  // packet so the client can sleep (dynamic schedules only).
+  Splice* marking = nullptr;
+  bool need_empty_marker = false;
+  if (any_tcp) {
+    for (auto& p : plans)
+      if (p.chunk > 0 || p.pre_unsent > 0) marking = p.splice;
+  } else if (!raw.empty()) {
+    raw.back().marked = true;
+  } else if (entry.kind == SlotKind::Any) {
+    need_empty_marker = true;  // sent after the gates open, see below
+  }
+
+  for (net::Packet& p : raw) {
+    stats_.udp_bytes_burst += p.payload;
+    wireless_tx_(std::move(p));
+  }
+
+  // Write planned bytes into the client-side sockets (gates still closed,
+  // so nothing leaves yet), arming the marker before the final write.
+  for (auto& p : plans) {
+    if (p.splice == marking) {
+      // If this burst drains the stream and the server has finished, the
+      // connection closes right after: put the mark on the FIN itself.
+      const bool closes_now =
+          (p.splice->server_fin && p.splice->buffered == p.chunk &&
+           !p.splice->client_side->fin_unacked()) ||
+          p.splice->client_side->close_pending();
+      if (closes_now) {
+        p.splice->marker.arm_after_with_fin(p.chunk);
+      } else {
+        p.splice->marker.arm_after(p.chunk);
+      }
+    }
+    if (p.chunk > 0) {
+      p.splice->server_side->consume(p.chunk);
+      p.splice->buffered -= p.chunk;
+      p.splice->marker.bytes_written(p.chunk);
+      p.splice->client_side->send(p.chunk);
+      stats_.tcp_bytes_burst += p.chunk;
+    }
+    maybe_finish_splice(*p.splice);
+  }
+  // Open the gates: pre-unsent and new bytes flow, cwnd permitting.
+  for (auto& p : plans) p.splice->client_side->set_send_gate(true);
+
+  // The empty-burst marker goes out last so that control segments flushed
+  // by the gate opening (FINs, deferred retransmissions) reach the client
+  // before it sleeps on the mark.
+  if (need_empty_marker) send_empty_burst_marker(entry.client);
+}
+
+void TransparentProxy::close_burst(const ScheduleEntry& entry) {
+  if (entry.kind == SlotKind::UdpOnly) return;
+  auto it = clients_.find(entry.client);
+  if (it == clients_.end()) return;
+  for (Splice* s : it->second->splices) s->client_side->set_send_gate(false);
+}
+
+void TransparentProxy::send_empty_burst_marker(net::Ipv4Addr client) {
+  net::Packet pkt = net::make_packet();
+  pkt.src = params_.proxy_ip;
+  pkt.src_port = kSchedulePort;
+  pkt.dst = client;
+  pkt.dst_port = kSchedulePort;
+  pkt.proto = net::Protocol::Udp;
+  pkt.payload = 16;
+  pkt.marked = true;
+  pkt.sent_at = sim_.now();
+  ++stats_.empty_burst_markers;
+  wireless_tx_(std::move(pkt));
+}
+
+}  // namespace pp::proxy

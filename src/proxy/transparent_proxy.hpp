@@ -1,0 +1,195 @@
+// The transparent proxy (Section 3).
+//
+// The proxy is a bridge between the wired LAN (servers) and the access
+// point (clients).  Neither side knows it exists:
+//
+//  * TCP connections are spliced (Figure 3): the client's SYN to a server
+//    is terminated at a proxy-owned "client-side" socket that masquerades
+//    as the server, and a matching "server-side" socket masquerading as the
+//    client connects onward.  The double connection keeps the server-side
+//    RTT free of client buffering delay, so the sender's window stays open.
+//  * UDP downlink datagrams are buffered per client and released in bursts.
+//  * Uplink traffic (ACKs, requests, receiver reports) passes through
+//    immediately — only the downlink is shaped.
+//
+// At each SRP the proxy snapshots all client queues, asks its Scheduler
+// for a burst layout, broadcasts the schedule, and bursts each client's
+// data in its slot, terminating every burst with a marked packet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/wireless.hpp"
+#include "proxy/bandwidth.hpp"
+#include "proxy/marker.hpp"
+#include "proxy/schedule.hpp"
+#include "proxy/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+
+namespace pp::proxy {
+
+enum class ProxyMode : std::uint8_t {
+  // Full system: spliced TCP + buffered UDP + burst scheduling.
+  Splice,
+  // Ablation: buffer and burst raw packets without splicing — the
+  // end-to-end TCP connection sees the full buffering delay.
+  BufferedPassthrough,
+  // Ablation/baseline: forward everything immediately (no proxy effect).
+  Passthrough,
+};
+
+struct ProxyParams {
+  net::Ipv4Addr proxy_ip = net::Ipv4Addr::octets(10, 0, 0, 254);
+  // Per-client datagram buffer.  Section 3.2.2 sizes the whole proxy at
+  // ~one second of data for all clients (512 KB at 4 Mb/s); per client
+  // that is ~64 KB — and keeping it near one second also keeps the
+  // receiver-report feedback loop fast enough for stream adaptation.
+  std::uint64_t queue_limit_bytes = 64 * 1024;
+  SlotParams slots{};
+  ProxyMode mode = ProxyMode::Splice;
+  // Ablation knob: scale the calibrated send-cost model.  Values below 1
+  // make the proxy overestimate channel capacity, reproducing the slot
+  // overruns Section 3.2.2's microbenchmarks exist to prevent.
+  double cost_model_scale = 1.0;
+  transport::TcpOptions server_side_tcp{};  // manual_consume forced on
+  transport::TcpOptions client_side_tcp{};  // defer_rtx_when_gated forced on
+};
+
+struct ProxyStats {
+  std::uint64_t schedules_sent = 0;
+  std::uint64_t bursts_opened = 0;
+  std::uint64_t queued_packets = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t udp_bytes_burst = 0;
+  std::uint64_t tcp_bytes_burst = 0;
+  std::uint64_t splices_created = 0;
+  std::uint64_t splices_closed = 0;
+  std::uint64_t empty_burst_markers = 0;
+  std::uint64_t unmatched_packets = 0;
+};
+
+class TransparentProxy {
+ public:
+  TransparentProxy(sim::Simulator& sim, std::unique_ptr<Scheduler> scheduler,
+                   ProxyParams params = {});
+  ~TransparentProxy();
+
+  TransparentProxy(const TransparentProxy&) = delete;
+  TransparentProxy& operator=(const TransparentProxy&) = delete;
+
+  // -- Wiring ------------------------------------------------------------------
+  // Sink for packets arriving from the wired LAN (the bridge's LAN port).
+  net::PacketSink& wired_sink() { return wired_sink_; }
+  // Sink for packets arriving from the access point (uplink).
+  net::PacketSink& wireless_sink() { return wireless_sink_; }
+  void set_wired_tx(std::function<void(net::Packet)> tx) {
+    wired_tx_ = std::move(tx);
+  }
+  void set_wireless_tx(std::function<void(net::Packet)> tx) {
+    wireless_tx_ = std::move(tx);
+  }
+
+  // Fit the send-cost model from the medium (the microbenchmark of
+  // Section 3.2.2).  Must be called before start().
+  void calibrate(const net::WirelessMedium& medium);
+  // Provide an already-fitted estimator instead.
+  void set_estimator(BandwidthEstimator est) { estimator_ = est; }
+
+  // Begin the schedule loop with the first SRP at `first_srp`.
+  void start(sim::Time first_srp);
+  void stop();
+
+  // Pre-register a client so it appears in schedules before any traffic.
+  void register_client(net::Ipv4Addr ip) { client_state(ip); }
+
+  // -- Introspection ------------------------------------------------------------
+  const ProxyStats& stats() const { return stats_; }
+  const BandwidthEstimator& estimator() const { return estimator_; }
+  std::uint64_t buffered_bytes(net::Ipv4Addr client) const;
+  std::size_t splice_count() const { return by_client_flow_.size(); }
+  const ScheduleMessage* last_schedule() const { return last_schedule_.get(); }
+
+ private:
+  struct Splice {
+    net::FlowKey key;  // client -> server
+    net::Ipv4Addr client_ip;
+    std::unique_ptr<transport::TcpConnection> client_side;
+    std::unique_ptr<transport::TcpConnection> server_side;
+    BurstMarker marker;
+    std::uint64_t buffered = 0;  // server bytes awaiting burst to client
+    bool server_fin = false;     // server finished sending
+    bool client_close_requested = false;
+  };
+
+  struct ClientState {
+    net::Ipv4Addr ip;
+    std::deque<net::Packet> pkt_q;  // buffered raw downlink packets
+    std::uint64_t pkt_q_bytes = 0;
+    std::vector<Splice*> splices;
+    sim::Time last_activity;
+  };
+
+  class Sink : public net::PacketSink {
+   public:
+    Sink(TransparentProxy& p, bool wired) : proxy_{p}, wired_{wired} {}
+    void handle_packet(net::Packet pkt) override {
+      if (wired_) {
+        proxy_.on_wired_packet(std::move(pkt));
+      } else {
+        proxy_.on_wireless_packet(std::move(pkt));
+      }
+    }
+
+   private:
+    TransparentProxy& proxy_;
+    bool wired_;
+  };
+
+  void on_wired_packet(net::Packet pkt);
+  void on_wireless_packet(net::Packet pkt);
+  ClientState& client_state(net::Ipv4Addr ip);
+  void enqueue_downlink(net::Packet pkt);
+  Splice& create_splice(const net::Packet& syn);
+  void maybe_finish_splice(Splice& s);
+  void reap_splices();
+
+  void schedule_tick();
+  void open_burst(const ScheduleEntry& entry);
+  void close_burst(const ScheduleEntry& entry);
+  void send_empty_burst_marker(net::Ipv4Addr client);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<Scheduler> scheduler_;
+  ProxyParams params_;
+  BandwidthEstimator estimator_;
+  Sink wired_sink_;
+  Sink wireless_sink_;
+  std::function<void(net::Packet)> wired_tx_;
+  std::function<void(net::Packet)> wireless_tx_;
+
+  std::unordered_map<net::Ipv4Addr, std::unique_ptr<ClientState>,
+                     net::Ipv4AddrHash>
+      clients_;
+  std::vector<net::Ipv4Addr> client_order_;  // deterministic iteration
+  std::unordered_map<net::FlowKey, std::unique_ptr<Splice>, net::FlowKeyHash>
+      by_client_flow_;  // key: client -> server
+  std::unordered_map<net::FlowKey, Splice*, net::FlowKeyHash>
+      by_server_flow_;  // key: server -> client
+
+  bool running_ = false;
+  std::uint64_t schedule_seq_ = 0;
+  std::shared_ptr<ScheduleMessage> last_schedule_;
+  sim::EventHandle tick_handle_;
+  std::vector<sim::EventHandle> burst_handles_;
+  ProxyStats stats_;
+};
+
+}  // namespace pp::proxy

@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pp::sim {
+
+EventHandle EventQueue::push(Time when, EventFn fn) {
+  auto state = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled();
+  return heap_.empty() ? Time::max() : heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; move out via const_cast on the handle —
+  // safe because we pop immediately and never touch the moved-from entry.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, std::move(top.fn)};
+  *top.cancelled = true;  // mark fired so the handle reports !pending()
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace pp::sim

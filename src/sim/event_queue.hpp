@@ -1,0 +1,79 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap keyed on (time, insertion sequence) so simultaneous events
+// fire in schedule order — the tie-break makes runs fully deterministic.
+// Cancellation is lazy: a cancelled event stays in the heap but is skipped
+// when popped, so emptiness is probed via next_time().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pp::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle to a scheduled event; allows cancellation.  Default-constructed
+// handles refer to nothing and are safe to cancel.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+  // Cancel the event if still pending.  Idempotent.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> s) : state_{std::move(s)} {}
+  std::shared_ptr<bool> state_;  // true => cancelled or fired
+};
+
+class EventQueue {
+ public:
+  EventHandle push(Time when, EventFn fn);
+
+  // True when no pending (non-cancelled) events remain.
+  bool empty() { return next_time() == Time::max(); }
+  // Upper bound on pending events (may include cancelled entries).
+  std::size_t size_bound() const { return heap_.size(); }
+
+  // Earliest pending event time; Time::max() if empty.
+  Time next_time();
+
+  // Pop and return the earliest pending event.  Precondition: !empty().
+  struct Fired {
+    Time when;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,90 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pp::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Modulo bias is negligible for spans << 2^64 used here.
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::pareto(double alpha, double lo, double hi) {
+  assert(alpha > 0 && lo > 0 && hi > lo);
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+Rng Rng::fork() { return Rng{next_u64()}; }
+
+}  // namespace pp::sim

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// xoshiro256** seeded through splitmix64.  We do not use <random> engines
+// because their distributions are not guaranteed identical across standard
+// library implementations; every draw here is reproducible bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pp::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Bernoulli trial.
+  bool chance(double p);
+  // Exponential with the given mean (> 0).
+  double exponential(double mean);
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+  // Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed sizes).
+  double pareto(double alpha, double lo, double hi);
+  // Log-normal parameterized by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  // Derive an independent child stream (e.g. one per entity).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace pp::sim

@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace pp::sim {
+
+EventHandle Simulator::at(Time when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.push(when, std::move(fn));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && queue_.next_time() != Time::max()) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    ++events_fired_;
+    fn();
+  }
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!stopped_ && queue_.next_time() <= until) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    ++events_fired_;
+    fn();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,50 @@
+// The discrete-event simulator: a clock plus the pending-event set.
+//
+// Single-threaded and deterministic.  Entities hold a Simulator& and
+// schedule callbacks; the driver calls run_until()/run().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace pp::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedule fn at an absolute time (must be >= now()).
+  EventHandle at(Time when, EventFn fn);
+  // Schedule fn after a delay (must be >= 0).
+  EventHandle after(Duration delay, EventFn fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  // Run until the event queue drains or stop() is called.
+  void run();
+  // Run all events with time <= until, then set the clock to `until`.
+  void run_until(Time until);
+  // Abort the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  Time now_ = Time::zero();
+  EventQueue queue_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace pp::sim

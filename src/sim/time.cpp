@@ -1,0 +1,22 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace pp::sim {
+
+std::string Time::str() const {
+  char buf[64];
+  const double s = to_seconds();
+  if (ns_ >= 1'000'000'000 || ns_ <= -1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6fs", s);
+  } else if (ns_ >= 1'000'000 || ns_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) { return os << t.str(); }
+
+}  // namespace pp::sim

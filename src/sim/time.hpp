@@ -1,0 +1,72 @@
+// Simulation time: a strongly-typed nanosecond count.
+//
+// A single type serves both absolute times and durations (the usual DES
+// convention); semantic intent is conveyed by factory names and variable
+// names.  All arithmetic is integer, so simulations are bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace pp::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  // -- Factories ------------------------------------------------------------
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  // Fractional seconds (rounded toward zero).  Used by analytic models only;
+  // the core engine never converts through floating point.
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  // -- Accessors --------------------------------------------------------------
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr std::int64_t count_us() const { return ns_ / 1'000; }
+  constexpr std::int64_t count_ms() const { return ns_ / 1'000'000; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) * 1e-6; }
+
+  // -- Arithmetic -------------------------------------------------------------
+  constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+  constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+  constexpr Time operator*(std::int64_t k) const { return Time{ns_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{ns_ / k}; }
+  // Ratio of two durations.
+  constexpr double ratio(Time denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+  Time& operator+=(Time o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  Time& operator-=(Time o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+using Duration = Time;
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace pp::sim

@@ -1,0 +1,31 @@
+// The monitoring station: a promiscuous observer of the wireless medium.
+//
+// Mirrors the paper's tcpdump laptop — it records every frame, including
+// frames the addressed client slept through (which is how postmortem loss
+// accounting works).
+#pragma once
+
+#include <cstdint>
+
+#include "net/wireless.hpp"
+#include "trace/record.hpp"
+
+namespace pp::trace {
+
+class MonitoringStation {
+ public:
+  // Attaches a sniffer to the medium; records accumulate in buffer().
+  explicit MonitoringStation(net::WirelessMedium& medium);
+
+  const TraceBuffer& buffer() const { return buffer_; }
+  TraceBuffer take() { return std::move(buffer_); }
+
+  std::uint64_t frames() const { return buffer_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  TraceBuffer buffer_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pp::trace

@@ -1,0 +1,404 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/access_point.hpp"
+#include "net/addr.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/wireless.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::net {
+namespace {
+
+using sim::Time;
+
+TEST(Addr, Formatting) {
+  EXPECT_EQ(Ipv4Addr::octets(192, 168, 1, 42).str(), "192.168.1.42");
+  EXPECT_EQ(Ipv4Addr::broadcast().str(), "255.255.255.255");
+  EXPECT_TRUE(Ipv4Addr::broadcast().is_broadcast());
+  EXPECT_FALSE(Ipv4Addr::octets(10, 0, 0, 1).is_broadcast());
+}
+
+TEST(Addr, FlowKeyReversal) {
+  const FlowKey k{Ipv4Addr::octets(1, 1, 1, 1), 100,
+                  Ipv4Addr::octets(2, 2, 2, 2), 200, Protocol::Tcp};
+  const FlowKey r = k.reversed();
+  EXPECT_EQ(r.src, k.dst);
+  EXPECT_EQ(r.src_port, k.dst_port);
+  EXPECT_EQ(r.dst, k.src);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(Addr, FlowKeyHashDistinguishesPorts) {
+  const FlowKey a{Ipv4Addr{1}, 10, Ipv4Addr{2}, 20, Protocol::Udp};
+  FlowKey b = a;
+  b.src_port = 11;
+  EXPECT_NE(FlowKeyHash{}(a), FlowKeyHash{}(b));
+}
+
+TEST(Packet, UniqueIds) {
+  const Packet a = make_packet();
+  const Packet b = make_packet();
+  EXPECT_NE(a.id, 0u);
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(Packet, WireSizeIncludesHeaders) {
+  Packet p = make_packet();
+  p.payload = 1000;
+  p.proto = Protocol::Udp;
+  EXPECT_EQ(p.wire_size(), 1028u);
+  p.proto = Protocol::Tcp;
+  EXPECT_EQ(p.wire_size(), 1040u);
+}
+
+class CollectSink : public PacketSink {
+ public:
+  void handle_packet(Packet pkt) override {
+    times.push_back(sim_ ? sim_->now() : sim::Time::zero());
+    pkts.push_back(std::move(pkt));
+  }
+  sim::Simulator* sim_ = nullptr;
+  std::vector<Packet> pkts;
+  std::vector<sim::Time> times;
+};
+
+TEST(Channel, SerializesAtLinkRate) {
+  sim::Simulator sim;
+  CollectSink sink;
+  sink.sim_ = &sim;
+  WiredParams params;
+  params.rate_bps = 8e6;  // 1 byte per microsecond
+  params.propagation = Time::zero();
+  params.framing_bytes = 0;
+  Channel ch{sim, params, sink};
+
+  Packet p = make_packet();
+  p.payload = 972;  // 1000 wire bytes with UDP+IP headers
+  ch.transmit(p);
+  ch.transmit(p);
+  sim.run();
+  ASSERT_EQ(sink.pkts.size(), 2u);
+  EXPECT_EQ(sink.times[0], Time::us(1000));
+  EXPECT_EQ(sink.times[1], Time::us(2000));
+}
+
+TEST(Channel, DropsWhenQueueFull) {
+  sim::Simulator sim;
+  CollectSink sink;
+  WiredParams params;
+  params.rate_bps = 1e3;  // very slow so the queue backs up
+  params.queue_limit_bytes = 3000;
+  Channel ch{sim, params, sink};
+  Packet p = make_packet();
+  p.payload = 1000;
+  EXPECT_TRUE(ch.transmit(p));
+  EXPECT_TRUE(ch.transmit(p));
+  EXPECT_FALSE(ch.transmit(p));  // third exceeds 3000-byte cap
+  EXPECT_EQ(ch.packets_dropped(), 1u);
+}
+
+TEST(Channel, BacklogDrainsAfterDelivery) {
+  sim::Simulator sim;
+  CollectSink sink;
+  Channel ch{sim, {}, sink};
+  Packet p = make_packet();
+  p.payload = 500;
+  ch.transmit(p);
+  EXPECT_GT(ch.backlog_bytes(), 0u);
+  sim.run();
+  EXPECT_EQ(ch.backlog_bytes(), 0u);
+  EXPECT_EQ(ch.packets_sent(), 1u);
+}
+
+TEST(EthernetLan, RoutesByDestinationIp) {
+  sim::Simulator sim;
+  CollectSink s1, s2, sbridge;
+  EthernetLan lan{sim};
+  const auto ip1 = Ipv4Addr::octets(10, 0, 0, 1);
+  const auto ip2 = Ipv4Addr::octets(10, 0, 0, 2);
+  const auto p1 = lan.attach(s1, ip1);
+  lan.attach(s2, ip2);
+  lan.attach_default(sbridge);
+
+  Packet p = make_packet();
+  p.src = ip1;
+  p.dst = ip2;
+  lan.send(p1, p);
+  sim.run();
+  EXPECT_EQ(s2.pkts.size(), 1u);
+  EXPECT_TRUE(s1.pkts.empty());
+  EXPECT_TRUE(sbridge.pkts.empty());
+}
+
+TEST(EthernetLan, UnknownDestinationGoesToDefaultPort) {
+  sim::Simulator sim;
+  CollectSink s1, sbridge;
+  EthernetLan lan{sim};
+  const auto p1 = lan.attach(s1, Ipv4Addr::octets(10, 0, 0, 1));
+  lan.attach_default(sbridge);
+  Packet p = make_packet();
+  p.dst = Ipv4Addr::octets(172, 16, 0, 9);  // a wireless-side client
+  lan.send(p1, p);
+  sim.run();
+  EXPECT_EQ(sbridge.pkts.size(), 1u);
+}
+
+// -- Wireless ------------------------------------------------------------------
+
+class FakeStation : public WirelessStation {
+ public:
+  bool listening() const override { return listen; }
+  void deliver(Packet pkt, sim::Duration airtime) override {
+    delivered.push_back(std::move(pkt));
+    last_airtime = airtime;
+  }
+  void missed(const Packet&, sim::Duration) override { ++missed_count; }
+  void on_air(sim::Time, sim::Duration d) override { air_total += d; }
+
+  bool listen = true;
+  std::vector<Packet> delivered;
+  int missed_count = 0;
+  sim::Duration last_airtime;
+  sim::Duration air_total;
+};
+
+struct WirelessFixture : ::testing::Test {
+  WirelessFixture() : sim(5), medium(sim, params()) {
+    ap_id = medium.attach_access_point(ap);
+    c1_id = medium.attach_station(c1, Ipv4Addr::octets(172, 16, 0, 1));
+    c2_id = medium.attach_station(c2, Ipv4Addr::octets(172, 16, 0, 2));
+  }
+  static WirelessParams params() {
+    WirelessParams p;
+    p.per_frame_overhead = Time::us(100);
+    p.propagation = Time::zero();
+    return p;
+  }
+  Packet downlink_to(Ipv4Addr dst, std::uint32_t bytes = 1000) {
+    Packet p = make_packet();
+    p.src = Ipv4Addr::octets(10, 0, 0, 1);
+    p.dst = dst;
+    p.payload = bytes;
+    return p;
+  }
+  sim::Simulator sim;
+  WirelessMedium medium;
+  FakeStation ap, c1, c2;
+  WirelessMedium::StationId ap_id, c1_id, c2_id;
+};
+
+TEST_F(WirelessFixture, UnicastDownlinkReachesAddressedStationOnly) {
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 1)));
+  sim.run();
+  EXPECT_EQ(c1.delivered.size(), 1u);
+  EXPECT_TRUE(c2.delivered.empty());
+  EXPECT_EQ(c2.missed_count, 0);
+}
+
+TEST_F(WirelessFixture, SleepingStationMissesFrame) {
+  c1.listen = false;
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 1)));
+  sim.run();
+  EXPECT_TRUE(c1.delivered.empty());
+  EXPECT_EQ(c1.missed_count, 1);
+  EXPECT_EQ(medium.frames_missed(), 1u);
+}
+
+TEST_F(WirelessFixture, BroadcastReachesAllListeningStations) {
+  c2.listen = false;
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::broadcast()));
+  sim.run();
+  EXPECT_EQ(c1.delivered.size(), 1u);
+  EXPECT_EQ(c2.missed_count, 1);
+}
+
+TEST_F(WirelessFixture, UplinkAlwaysGoesToAccessPoint) {
+  Packet p = make_packet();
+  p.src = Ipv4Addr::octets(172, 16, 0, 1);
+  p.dst = Ipv4Addr::octets(10, 0, 0, 7);  // a wired server
+  medium.transmit(c1_id, p);
+  sim.run();
+  EXPECT_EQ(ap.delivered.size(), 1u);
+  EXPECT_TRUE(c2.delivered.empty());
+}
+
+TEST_F(WirelessFixture, ChannelSerializesTransmissions) {
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 1)));
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 2)));
+  // Both queued at t=0; the second must wait for the first's airtime.
+  const sim::Duration one = medium.airtime_of(downlink_to(Ipv4Addr{1}));
+  sim.run();
+  EXPECT_EQ(sim.now(), one * 2);
+}
+
+TEST_F(WirelessFixture, AirtimeChargedToSender) {
+  auto pkt = downlink_to(Ipv4Addr::octets(172, 16, 0, 1));
+  const sim::Duration at = medium.airtime_of(pkt);
+  medium.transmit(ap_id, pkt);
+  sim.run();
+  EXPECT_EQ(ap.air_total, at);
+}
+
+TEST_F(WirelessFixture, BroadcastUsesBasicRate) {
+  Packet uni = downlink_to(Ipv4Addr::octets(172, 16, 0, 1));
+  Packet bc = downlink_to(Ipv4Addr::broadcast());
+  EXPECT_GT(medium.airtime_of(bc), medium.airtime_of(uni));
+}
+
+TEST_F(WirelessFixture, SnifferSeesEveryFrameWithDeliveryFlag) {
+  std::vector<SnifferRecord> records;
+  medium.add_sniffer([&](const SnifferRecord& r) { records.push_back(r); });
+  c1.listen = false;
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 1)));
+  medium.transmit(ap_id, downlink_to(Ipv4Addr::octets(172, 16, 0, 2)));
+  sim.run();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].delivered);
+  EXPECT_TRUE(records[1].delivered);
+  EXPECT_TRUE(records[0].from_ap);
+}
+
+TEST_F(WirelessFixture, RandomLossDropsFraction) {
+  WirelessParams p = params();
+  p.p_loss = 0.5;
+  sim::Simulator sim2(9);
+  WirelessMedium m2{sim2, p};
+  FakeStation ap2, st;
+  auto apid = m2.attach_access_point(ap2);
+  m2.attach_station(st, Ipv4Addr::octets(172, 16, 0, 1));
+  for (int i = 0; i < 200; ++i) {
+    Packet pkt = make_packet();
+    pkt.dst = Ipv4Addr::octets(172, 16, 0, 1);
+    pkt.payload = 100;
+    m2.transmit(apid, pkt);
+  }
+  sim2.run();
+  EXPECT_GT(st.delivered.size(), 60u);
+  EXPECT_LT(st.delivered.size(), 140u);
+  EXPECT_EQ(st.delivered.size() + st.missed_count, 200u);
+}
+
+// -- Access point ---------------------------------------------------------------
+
+TEST(AccessPoint, ForwardsDownlinkInFifoOrder) {
+  sim::Simulator sim(3);
+  WirelessParams wp;
+  wp.propagation = Time::zero();
+  WirelessMedium medium{sim, wp};
+  AccessPointParams app;
+  app.p_spike = 0.5;  // heavy jitter to provoke reordering attempts
+  app.spike_max = Time::ms(4);
+  AccessPoint ap{sim, medium, app};
+  FakeStation client;
+  medium.attach_station(client, Ipv4Addr::octets(172, 16, 0, 1));
+
+  for (int i = 0; i < 50; ++i) {
+    Packet p = make_packet();
+    p.dst = Ipv4Addr::octets(172, 16, 0, 1);
+    p.payload = 100;
+    ap.handle_packet(p);
+  }
+  sim.run();
+  ASSERT_EQ(client.delivered.size(), 50u);
+  for (std::size_t i = 1; i < client.delivered.size(); ++i)
+    EXPECT_LT(client.delivered[i - 1].id, client.delivered[i].id);
+}
+
+TEST(AccessPoint, UplinkForwardedToWiredSink) {
+  sim::Simulator sim(3);
+  WirelessMedium medium{sim};
+  AccessPoint ap{sim, medium, {}};
+  CollectSink wired;
+  ap.set_uplink_sink(wired);
+  FakeStation client;
+  auto cid = medium.attach_station(client, Ipv4Addr::octets(172, 16, 0, 1));
+  Packet p = make_packet();
+  p.src = Ipv4Addr::octets(172, 16, 0, 1);
+  p.dst = Ipv4Addr::octets(10, 0, 0, 1);
+  medium.transmit(cid, p);
+  sim.run();
+  EXPECT_EQ(wired.pkts.size(), 1u);
+}
+
+TEST(AccessPoint, DropsWhenQueueFull) {
+  sim::Simulator sim(3);
+  WirelessMedium medium{sim};
+  AccessPointParams app;
+  app.queue_limit_bytes = 2000;
+  AccessPoint ap{sim, medium, app};
+  FakeStation client;
+  medium.attach_station(client, Ipv4Addr::octets(172, 16, 0, 1));
+  for (int i = 0; i < 5; ++i) {
+    Packet p = make_packet();
+    p.dst = Ipv4Addr::octets(172, 16, 0, 1);
+    p.payload = 900;
+    ap.handle_packet(p);
+  }
+  EXPECT_GT(ap.downlink_dropped(), 0u);
+}
+
+// -- Node demux -----------------------------------------------------------------
+
+class FakeDatagramHandler : public DatagramHandler {
+ public:
+  void on_datagram(const Packet& p) override { received.push_back(p); }
+  std::vector<Packet> received;
+};
+
+TEST(Node, UdpDemuxByPort) {
+  sim::Simulator sim;
+  Node n{sim, Ipv4Addr::octets(10, 0, 0, 1), "n"};
+  FakeDatagramHandler h5, h6;
+  n.bind_udp(5000, h5);
+  n.bind_udp(6000, h6);
+  Packet p = make_packet();
+  p.proto = Protocol::Udp;
+  p.dst_port = 6000;
+  n.handle_packet(p);
+  EXPECT_TRUE(h5.received.empty());
+  EXPECT_EQ(h6.received.size(), 1u);
+}
+
+TEST(Node, UnroutedPacketsCounted) {
+  sim::Simulator sim;
+  Node n{sim, Ipv4Addr::octets(10, 0, 0, 1), "n"};
+  Packet p = make_packet();
+  p.proto = Protocol::Udp;
+  p.dst_port = 1234;
+  n.handle_packet(p);
+  EXPECT_EQ(n.packets_unrouted(), 1u);
+}
+
+TEST(Node, DuplicateUdpBindThrows) {
+  sim::Simulator sim;
+  Node n{sim, Ipv4Addr::octets(10, 0, 0, 1), "n"};
+  FakeDatagramHandler h;
+  n.bind_udp(5000, h);
+  EXPECT_THROW(n.bind_udp(5000, h), std::logic_error);
+}
+
+TEST(Node, SendStampsTimestamp) {
+  sim::Simulator sim;
+  Node n{sim, Ipv4Addr::octets(10, 0, 0, 1), "n"};
+  Packet out;
+  n.set_transmitter([&](Packet p) { out = std::move(p); });
+  sim.after(Time::ms(5), [&] {
+    Packet p = make_packet();
+    n.send(std::move(p));
+  });
+  sim.run();
+  EXPECT_EQ(out.sent_at, Time::ms(5));
+}
+
+TEST(Node, EphemeralPortsUnique) {
+  sim::Simulator sim;
+  Node n{sim, Ipv4Addr::octets(10, 0, 0, 1), "n"};
+  EXPECT_NE(n.alloc_port(), n.alloc_port());
+}
+
+}  // namespace
+}  // namespace pp::net

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "exp/replicate.hpp"
+
+namespace pp::exp {
+namespace {
+
+TEST(ReplicateStats, SummaryOfKnownSamples) {
+  const auto s = summarize_samples({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.stddev, 2.1380899, 1e-6);  // sample stddev
+  EXPECT_GT(s.ci95(), 0.0);
+}
+
+TEST(ReplicateStats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize_samples({}).n, 0);
+  const auto s = summarize_samples({3.0});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95(), 0.0);
+}
+
+TEST(Replicate, RunsSeedsAndSummarizes) {
+  ScenarioConfig cfg;
+  cfg.roles = {0, 0};
+  cfg.policy = IntervalPolicy::Fixed500;
+  cfg.duration_s = 30.0;
+  const auto s = replicate_saved(cfg, 3, /*base_seed=*/50);
+  EXPECT_EQ(s.n, 3);
+  EXPECT_GT(s.mean, 50.0);
+  EXPECT_LT(s.mean, 90.0);
+  EXPECT_LE(s.min, s.mean);
+  EXPECT_GE(s.max, s.mean);
+}
+
+TEST(Replicate, DeterministicGivenBaseSeed) {
+  ScenarioConfig cfg;
+  cfg.roles = {0};
+  cfg.policy = IntervalPolicy::Fixed500;
+  cfg.duration_s = 20.0;
+  const auto a = replicate_saved(cfg, 2, 7);
+  const auto b = replicate_saved(cfg, 2, 7);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Replicate, CustomMetric) {
+  ScenarioConfig cfg;
+  cfg.roles = {0};
+  cfg.policy = IntervalPolicy::Fixed500;
+  cfg.duration_s = 20.0;
+  const auto s = replicate(
+      cfg, 2,
+      [](const ScenarioResult& r) {
+        return static_cast<double>(r.proxy_stats.schedules_sent);
+      },
+      7);
+  // 20 s at 500 ms intervals starting at 0.5 s -> 40 schedules.
+  EXPECT_NEAR(s.mean, 40.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pp::exp

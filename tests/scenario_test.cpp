@@ -1,0 +1,252 @@
+// End-to-end scenario tests: topology assembly, determinism, and the
+// paper's qualitative orderings as executable invariants.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "exp/parallel.hpp"
+#include "exp/scenario.hpp"
+#include "exp/testbed.hpp"
+#include "proxy/scheduler.hpp"
+
+namespace pp::exp {
+namespace {
+
+using sim::Time;
+
+ScenarioConfig small_video(IntervalPolicy pol, int fidelity, int n = 3,
+                           std::uint64_t seed = 17) {
+  ScenarioConfig cfg;
+  cfg.roles = std::vector<int>(n, fidelity);
+  cfg.policy = pol;
+  cfg.seed = seed;
+  cfg.duration_s = 60.0;
+  return cfg;
+}
+
+TEST(Testbed, ClientAddressingIsStable) {
+  EXPECT_EQ(testbed_client_ip(0).str(), "172.16.0.1");
+  EXPECT_EQ(testbed_client_ip(9).str(), "172.16.0.10");
+}
+
+TEST(Testbed, ServersGetSequentialAddresses) {
+  TestbedParams tp;
+  tp.num_clients = 1;
+  Testbed bed{tp, std::make_unique<proxy::FixedIntervalScheduler>(Time::ms(100))};
+  EXPECT_EQ(bed.add_server("a").ip().str(), "10.0.0.1");
+  EXPECT_EQ(bed.add_server("b").ip().str(), "10.0.0.2");
+}
+
+TEST(Testbed, AddServerAfterStartThrows) {
+  TestbedParams tp;
+  tp.num_clients = 1;
+  Testbed bed{tp, std::make_unique<proxy::FixedIntervalScheduler>(Time::ms(100))};
+  bed.start();
+  EXPECT_THROW(bed.add_server("late"), std::logic_error);
+}
+
+TEST(Scenario, RoleNames) {
+  EXPECT_EQ(role_name(0), "56K");
+  EXPECT_EQ(role_name(3), "512K");
+  EXPECT_EQ(role_name(kRoleWeb), "TCP/web");
+  EXPECT_EQ(role_name(kRoleFtp), "TCP/ftp");
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  const auto cfg = small_video(IntervalPolicy::Fixed500, 0);
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.clients[i].saved_pct, b.clients[i].saved_pct);
+    EXPECT_EQ(a.clients[i].packets_received, b.clients[i].packets_received);
+    EXPECT_EQ(a.clients[i].bytes_received, b.clients[i].bytes_received);
+  }
+  EXPECT_EQ(a.proxy_stats.schedules_sent, b.proxy_stats.schedules_sent);
+}
+
+TEST(Scenario, SeedChangesOutcomeDetails) {
+  auto c1 = small_video(IntervalPolicy::Fixed500, 0, 3, 17);
+  auto c2 = small_video(IntervalPolicy::Fixed500, 0, 3, 18);
+  const auto a = run_scenario(c1);
+  const auto b = run_scenario(c2);
+  // Byte totals are normalized to the effective bitrate, so compare exact
+  // energy: different seeds produce different jitter and VBR patterns.
+  bool differ = false;
+  for (std::size_t i = 0; i < a.clients.size(); ++i)
+    differ |= a.clients[i].energy_mj != b.clients[i].energy_mj;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Scenario, VideoClientsSaveSubstantialEnergy) {
+  const auto res = run_scenario(small_video(IntervalPolicy::Fixed500, 0));
+  for (const auto& c : res.clients) {
+    EXPECT_GT(c.saved_pct, 60.0);
+    EXPECT_LT(c.saved_pct, 90.0);  // cannot beat the sleep/idle ratio
+    EXPECT_LT(c.loss_pct, 5.0);
+    EXPECT_GT(c.bytes_received, 100'000u);
+  }
+}
+
+TEST(Scenario, FiveHundredBeatsOneHundredMs) {
+  // The paper's core interval result: 100 ms wakes the WNIC five times as
+  // often, so 500 ms saves more.
+  const auto r500 = run_scenario(small_video(IntervalPolicy::Fixed500, 0));
+  const auto r100 = run_scenario(small_video(IntervalPolicy::Fixed100, 0));
+  EXPECT_GT(summarize_all(r500.clients).avg,
+            summarize_all(r100.clients).avg + 3.0);
+}
+
+TEST(Scenario, LowerFidelitySavesMore) {
+  const auto r56 = run_scenario(small_video(IntervalPolicy::Fixed500, 0, 5));
+  const auto r512 = run_scenario(small_video(IntervalPolicy::Fixed500, 3, 5));
+  EXPECT_GT(summarize_all(r56.clients).avg, summarize_all(r512.clients).avg);
+}
+
+TEST(Scenario, VariableIntervalBetweenFixedOnes) {
+  const auto rv =
+      run_scenario(small_video(IntervalPolicy::Variable, 3, 5));
+  const auto r100 =
+      run_scenario(small_video(IntervalPolicy::Fixed100, 3, 5));
+  const auto r500 =
+      run_scenario(small_video(IntervalPolicy::Fixed500, 3, 5));
+  const double v = summarize_all(rv.clients).avg;
+  EXPECT_GE(v, summarize_all(r100.clients).avg - 1.0);
+  EXPECT_LE(v, summarize_all(r500.clients).avg + 1.0);
+}
+
+TEST(Scenario, MixedTrafficBothGroupsSave) {
+  ScenarioConfig cfg;
+  cfg.roles = {0, 0, 0, kRoleWeb, kRoleWeb};
+  cfg.policy = IntervalPolicy::Fixed500;
+  cfg.seed = 21;
+  cfg.duration_s = 60.0;
+  const auto res = run_scenario(cfg);
+  const auto v = summarize_video(res.clients);
+  const auto t = summarize_tcp(res.clients);
+  EXPECT_EQ(v.n, 3);
+  EXPECT_EQ(t.n, 2);
+  EXPECT_GT(v.avg, 40.0);
+  EXPECT_GT(t.avg, 30.0);
+}
+
+TEST(Scenario, StaticScheduleWorksForIdenticalStreams) {
+  const auto res =
+      run_scenario(small_video(IntervalPolicy::StaticEqual100, 0));
+  // 60 s at 100 ms intervals = ~600 broadcasts sent.
+  EXPECT_GT(res.proxy_stats.schedules_sent, 550u);
+  std::uint64_t heard = 0;
+  for (const auto& c : res.clients) {
+    EXPECT_GT(c.saved_pct, 55.0);
+    heard += c.schedules_received;
+  }
+  // Static/reuse: clients do not wake for schedules.  A client whose RP
+  // abuts the SRP overhears broadcasts anyway, but on average clients hear
+  // well under half of them (a dynamic client hears nearly all).
+  EXPECT_LT(heard, res.proxy_stats.schedules_sent *
+                       res.clients.size() / 2);
+}
+
+TEST(Scenario, SlottedStaticRunsWithBothKinds) {
+  ScenarioConfig cfg;
+  cfg.roles = {0, 0, 0, kRoleWeb};
+  cfg.policy = IntervalPolicy::SlottedStatic500;
+  cfg.slotted_tcp_weight = 0.33;
+  cfg.seed = 23;
+  cfg.duration_s = 60.0;
+  const auto res = run_scenario(cfg);
+  EXPECT_GT(summarize_video(res.clients).avg, 20.0);
+}
+
+TEST(Scenario, SlottedStaticRequiresBothKinds) {
+  ScenarioConfig cfg;
+  cfg.roles = {0, 0};
+  cfg.policy = IntervalPolicy::SlottedStatic500;
+  EXPECT_THROW(run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(Scenario, FtpDownloadCompletesThroughProxy) {
+  ScenarioConfig cfg;
+  cfg.roles = {kRoleFtp};
+  cfg.policy = IntervalPolicy::Fixed500;
+  cfg.ftp_bytes = 1'000'000;
+  cfg.seed = 29;
+  cfg.duration_s = 100.0;
+  const auto res = run_scenario(cfg);
+  EXPECT_GT(res.clients[0].ftp_seconds, 0.0);
+  EXPECT_EQ(res.clients[0].app_bytes, 1'000'000u);
+}
+
+TEST(Scenario, KeepTraceCapturesFrames) {
+  auto cfg = small_video(IntervalPolicy::Fixed500, 0, 1);
+  cfg.keep_trace = true;
+  const auto res = run_scenario(cfg);
+  EXPECT_GT(res.trace.size(), 100u);
+}
+
+TEST(Scenario, WirelessOverrideApplies) {
+  auto cfg = small_video(IntervalPolicy::Fixed500, 0, 1);
+  net::WirelessParams wp;
+  wp.p_loss = 0.3;  // very lossy medium
+  cfg.wireless = wp;
+  const auto res = run_scenario(cfg);
+  EXPECT_GT(res.clients[0].loss_pct, 5.0);
+}
+
+TEST(Scenario, PassthroughModeBreaksTheSleepContract) {
+  // In passthrough mode the proxy still broadcasts (empty) schedules, so a
+  // schedule-following client sleeps — but its data arrives unshaped, so
+  // it misses most of it.  This is the ablation showing that buffering is
+  // what makes sleeping safe.
+  auto cfg = small_video(IntervalPolicy::Fixed500, 0, 1);
+  cfg.proxy_mode = proxy::ProxyMode::Passthrough;
+  const auto res = run_scenario(cfg);
+  EXPECT_GT(res.clients[0].loss_pct, 30.0);
+}
+
+TEST(Summaries, MinMaxAvg) {
+  std::vector<ClientResult> rs(3);
+  rs[0].saved_pct = 10;
+  rs[1].saved_pct = 20;
+  rs[2].saved_pct = 60;
+  const auto s = summarize_all(rs);
+  EXPECT_EQ(s.n, 3);
+  EXPECT_DOUBLE_EQ(s.avg, 30.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 60.0);
+}
+
+TEST(Summaries, RoleFilters) {
+  std::vector<ClientResult> rs(2);
+  rs[0].role = 0;
+  rs[0].saved_pct = 80;
+  rs[1].role = kRoleWeb;
+  rs[1].saved_pct = 60;
+  EXPECT_DOUBLE_EQ(summarize_video(rs).avg, 80.0);
+  EXPECT_DOUBLE_EQ(summarize_tcp(rs).avg, 60.0);
+}
+
+TEST(ParallelRunner, MatchesSequentialResults) {
+  std::vector<ScenarioConfig> cfgs{
+      small_video(IntervalPolicy::Fixed500, 0, 2),
+      small_video(IntervalPolicy::Fixed100, 0, 2),
+  };
+  std::vector<std::function<ScenarioResult()>> tasks;
+  for (const auto& c : cfgs)
+    tasks.emplace_back([c] { return run_scenario(c); });
+  const auto par = run_parallel(tasks, 2);
+  ASSERT_EQ(par.size(), 2u);
+  const auto seq0 = run_scenario(cfgs[0]);
+  EXPECT_DOUBLE_EQ(summarize_all(par[0].clients).avg,
+                   summarize_all(seq0.clients).avg);
+}
+
+TEST(ParallelRunner, HandlesManyTasksWithFewThreads) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 20; ++i) tasks.emplace_back([i] { return i * i; });
+  const auto out = run_parallel(tasks, 3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+}  // namespace
+}  // namespace pp::exp

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "proxy/scheduler.hpp"
+
+namespace pp::proxy {
+namespace {
+
+using sim::Time;
+
+net::Ipv4Addr ip(int i) {
+  return net::Ipv4Addr::octets(172, 16, 0, static_cast<std::uint8_t>(i));
+}
+
+BandwidthEstimator linear_est() {
+  std::vector<BandwidthEstimator::Sample> samples;
+  for (std::uint32_t n : {100u, 700u, 1400u})
+    samples.push_back({n, 1e-3 + 2e-6 * n});
+  return BandwidthEstimator{samples};
+}
+
+// Entries must be back-to-back, non-overlapping, inside the interval.
+void check_layout(const BuiltSchedule& b, bool allow_overlap = false) {
+  ASSERT_FALSE(b.entries.empty());
+  for (std::size_t i = 0; i < b.entries.size(); ++i) {
+    const auto& e = b.entries[i];
+    EXPECT_GE(e.rp_offset, Time::zero());
+    EXPECT_GE(e.duration, Time::zero());
+    EXPECT_LE((e.rp_offset + e.duration).count_ns(),
+              b.interval.count_ns() + 1000);
+    if (i > 0 && !allow_overlap) {
+      EXPECT_GE(e.rp_offset, b.entries[i - 1].rp_offset);
+    }
+  }
+}
+
+TEST(FixedIntervalScheduler, EmptyDemandsYieldNoEntries) {
+  FixedIntervalScheduler sched{Time::ms(100)};
+  const auto est = linear_est();
+  const auto b = sched.build({}, est);
+  EXPECT_EQ(b.interval, Time::ms(100));
+  EXPECT_TRUE(b.entries.empty());
+  EXPECT_FALSE(b.reuse_next);
+}
+
+TEST(FixedIntervalScheduler, IdleClientsGetNoSlot) {
+  FixedIntervalScheduler sched{Time::ms(100)};
+  const auto est = linear_est();
+  std::vector<ClientDemand> d{{ip(1), 5000, 0}, {ip(2), 0, 0}};
+  const auto b = sched.build(d, est);
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_EQ(b.entries[0].client, ip(1));
+}
+
+TEST(FixedIntervalScheduler, SlotCoversDrainCost) {
+  FixedIntervalScheduler sched{Time::ms(500)};
+  const auto est = linear_est();
+  std::vector<ClientDemand> d{{ip(1), 20000, 0}};
+  const auto b = sched.build(d, est);
+  ASSERT_EQ(b.entries.size(), 1u);
+  EXPECT_GE(b.entries[0].duration, est.bulk_cost(20000, 1400));
+  check_layout(b);
+}
+
+TEST(FixedIntervalScheduler, OvercommitSharesProportionally) {
+  FixedIntervalScheduler sched{Time::ms(100)};
+  const auto est = linear_est();
+  // Way more demand than 100 ms can carry; 3:1 queue ratio.
+  std::vector<ClientDemand> d{{ip(1), 300000, 0}, {ip(2), 100000, 0}};
+  const auto b = sched.build(d, est);
+  ASSERT_EQ(b.entries.size(), 2u);
+  const double ratio = b.entries[0].duration.ratio(b.entries[1].duration);
+  EXPECT_NEAR(ratio, 3.0, 0.05);
+  // Slots fill (nearly) the whole interval.
+  const auto total = b.entries[0].duration + b.entries[1].duration;
+  EXPECT_GE(total.count_ns(), (b.interval - Time::ms(5)).count_ns() * 9 / 10);
+  check_layout(b);
+}
+
+TEST(FixedIntervalScheduler, TcpDemandCostsMoreThanUdp) {
+  FixedIntervalScheduler sched{Time::ms(500)};
+  const auto est = linear_est();
+  std::vector<ClientDemand> udp{{ip(1), 50000, 0}};
+  std::vector<ClientDemand> tcp{{ip(1), 0, 50000}};
+  const auto bu = sched.build(udp, est);
+  const auto bt = sched.build(tcp, est);
+  EXPECT_GT(bt.entries[0].duration, bu.entries[0].duration);
+}
+
+TEST(VariableIntervalScheduler, ShrinksToMinWhenIdle) {
+  VariableIntervalScheduler sched;
+  const auto est = linear_est();
+  const auto b = sched.build({{ip(1), 100, 0}}, est);
+  EXPECT_EQ(b.interval, Time::ms(100));
+}
+
+TEST(VariableIntervalScheduler, GrowsWithDemand) {
+  VariableIntervalScheduler sched;
+  const auto est = linear_est();
+  // ~75000 bytes ~= 204 ms of channel time: interval must stretch.
+  const auto b = sched.build({{ip(1), 75000, 0}}, est);
+  EXPECT_GT(b.interval, Time::ms(150));
+  EXPECT_LT(b.interval, Time::ms(500));
+  // Slot drains the queue.
+  EXPECT_GE(b.entries[0].duration, est.bulk_cost(75000, 1400));
+}
+
+TEST(VariableIntervalScheduler, CapsAtMaxAndScalesSlots) {
+  VariableIntervalScheduler sched;
+  const auto est = linear_est();
+  const auto b =
+      sched.build({{ip(1), 400000, 0}, {ip(2), 400000, 0}}, est);
+  EXPECT_EQ(b.interval, Time::ms(500));
+  check_layout(b);
+  // Equal demands -> equal scaled slots.
+  EXPECT_NEAR(b.entries[0].duration.ratio(b.entries[1].duration), 1.0, 0.01);
+}
+
+TEST(VariableIntervalScheduler, IntervalBetweenBounds) {
+  VariableIntervalScheduler sched{Time::ms(100), Time::ms(500)};
+  const auto est = linear_est();
+  for (std::uint64_t bytes : {0ull, 1000ull, 50000ull, 200000ull, 900000ull}) {
+    const auto b = sched.build({{ip(1), bytes, 0}}, est);
+    EXPECT_GE(b.interval, Time::ms(100));
+    EXPECT_LE(b.interval, Time::ms(500));
+  }
+}
+
+TEST(StaticScheduler, EqualSlotsForAllClientsRegardlessOfDemand) {
+  StaticScheduler sched{Time::ms(100), {ip(1), ip(2), ip(3), ip(4)}};
+  const auto est = linear_est();
+  // No demand at all: entries still exist.
+  const auto b = sched.build({}, est);
+  ASSERT_EQ(b.entries.size(), 4u);
+  for (const auto& e : b.entries)
+    EXPECT_EQ(e.duration, b.entries[0].duration);
+  EXPECT_TRUE(b.reuse_next);
+  check_layout(b);
+}
+
+TEST(StaticScheduler, ScheduleIsIdenticalAcrossTicks) {
+  StaticScheduler sched{Time::ms(100), {ip(1), ip(2)}};
+  const auto est = linear_est();
+  const auto b1 = sched.build({{ip(1), 99999, 0}}, est);
+  const auto b2 = sched.build({{ip(2), 5, 0}}, est);
+  ASSERT_EQ(b1.entries.size(), b2.entries.size());
+  for (std::size_t i = 0; i < b1.entries.size(); ++i) {
+    EXPECT_EQ(b1.entries[i].client, b2.entries[i].client);
+    EXPECT_EQ(b1.entries[i].rp_offset, b2.entries[i].rp_offset);
+    EXPECT_EQ(b1.entries[i].duration, b2.entries[i].duration);
+  }
+}
+
+TEST(SlottedStaticScheduler, TcpSlotThenUdpSlots) {
+  SlottedStaticScheduler sched{Time::ms(500), 0.33, {ip(1), ip(2)}, {ip(3)}};
+  const auto est = linear_est();
+  const auto b = sched.build({}, est);
+  // 3 TCP-slot entries (everyone awake) + 2 UDP slots.
+  ASSERT_EQ(b.entries.size(), 5u);
+  int tcp_entries = 0, udp_entries = 0;
+  sim::Duration tcp_end;
+  for (const auto& e : b.entries) {
+    if (e.kind == SlotKind::TcpOnly) {
+      ++tcp_entries;
+      tcp_end = e.rp_offset + e.duration;
+    } else if (e.kind == SlotKind::UdpOnly) {
+      ++udp_entries;
+      EXPECT_GE(e.rp_offset, tcp_end);  // UDP slots follow the TCP slot
+    }
+  }
+  EXPECT_EQ(tcp_entries, 3);
+  EXPECT_EQ(udp_entries, 2);
+  EXPECT_TRUE(b.reuse_next);
+}
+
+TEST(SlottedStaticScheduler, TcpWeightControlsSlotSize) {
+  const auto est = linear_est();
+  SlottedStaticScheduler small{Time::ms(500), 0.10, {ip(1)}, {ip(2)}};
+  SlottedStaticScheduler large{Time::ms(500), 0.56, {ip(1)}, {ip(2)}};
+  const auto bs = small.build({}, est);
+  const auto bl = large.build({}, est);
+  sim::Duration ds, dl;
+  for (const auto& e : bs.entries)
+    if (e.kind == SlotKind::TcpOnly) ds = e.duration;
+  for (const auto& e : bl.entries)
+    if (e.kind == SlotKind::TcpOnly) dl = e.duration;
+  EXPECT_NEAR(dl.ratio(ds), 5.6, 0.05);
+}
+
+// Parameterized sweep: every scheduler respects basic layout invariants for
+// a range of demand mixes.
+struct SchedCase {
+  std::uint64_t udp;
+  std::uint64_t tcp;
+  int clients;
+};
+
+class SchedulerLayoutSweep : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerLayoutSweep, FixedLayoutInvariants) {
+  const auto p = GetParam();
+  FixedIntervalScheduler sched{Time::ms(100)};
+  const auto est = linear_est();
+  std::vector<ClientDemand> d;
+  for (int i = 0; i < p.clients; ++i) d.push_back({ip(i + 1), p.udp, p.tcp});
+  const auto b = sched.build(d, est);
+  if (p.udp + p.tcp == 0) {
+    EXPECT_TRUE(b.entries.empty());
+    return;
+  }
+  check_layout(b);
+  EXPECT_EQ(b.entries.size(), static_cast<std::size_t>(p.clients));
+}
+
+TEST_P(SchedulerLayoutSweep, VariableLayoutInvariants) {
+  const auto p = GetParam();
+  VariableIntervalScheduler sched;
+  const auto est = linear_est();
+  std::vector<ClientDemand> d;
+  for (int i = 0; i < p.clients; ++i) d.push_back({ip(i + 1), p.udp, p.tcp});
+  const auto b = sched.build(d, est);
+  EXPECT_GE(b.interval, Time::ms(100));
+  EXPECT_LE(b.interval, Time::ms(500));
+  if (p.udp + p.tcp > 0) check_layout(b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DemandMixes, SchedulerLayoutSweep,
+    ::testing::Values(SchedCase{0, 0, 3}, SchedCase{1000, 0, 1},
+                      SchedCase{0, 1000, 1}, SchedCase{5000, 5000, 4},
+                      SchedCase{50000, 0, 10}, SchedCase{0, 80000, 10},
+                      SchedCase{200000, 200000, 10}, SchedCase{1, 1, 2}));
+
+}  // namespace
+}  // namespace pp::proxy

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace pp::sim {
+namespace {
+
+TEST(Time, FactoriesAndAccessors) {
+  EXPECT_EQ(Time::ms(3).count_ns(), 3'000'000);
+  EXPECT_EQ(Time::us(5).count_ns(), 5'000);
+  EXPECT_EQ(Time::sec(2).count_ms(), 2'000);
+  EXPECT_DOUBLE_EQ(Time::ms(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::us(2500).to_ms(), 2.5);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time::ms(2) + Time::ms(3), Time::ms(5));
+  EXPECT_EQ(Time::sec(1) - Time::ms(250), Time::ms(750));
+  EXPECT_EQ(Time::ms(10) * 3, Time::ms(30));
+  EXPECT_EQ(Time::ms(10) / 4, Time::us(2500));
+  EXPECT_DOUBLE_EQ(Time::ms(1).ratio(Time::ms(4)), 0.25);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::ms(1), Time::ms(2));
+  EXPECT_LE(Time::zero(), Time::ns(0));
+  EXPECT_GT(Time::max(), Time::sec(1'000'000));
+}
+
+TEST(Time, SecondsFactoryRounds) {
+  EXPECT_EQ(Time::seconds(0.001).count_ns(), 1'000'000);
+  EXPECT_EQ(Time::seconds(1.5).count_ms(), 1'500);
+}
+
+TEST(Time, Streaming) {
+  EXPECT_EQ(Time::ms(5).str(), "5.000ms");
+  EXPECT_EQ(Time::sec(2).str(), "2.000000s");
+  EXPECT_EQ(Time::ns(17).str(), "17ns");
+}
+
+TEST(Rng, Deterministic) {
+  Rng r1{42};
+  Rng r2{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng r1{1};
+  Rng r2{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += r1.next_u64() == r2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r{5};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{11};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{13};
+  double sum = 0, sq = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoBounded) {
+  Rng r{17};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.pareto(1.2, 100.0, 1e6);
+    ASSERT_GE(x, 100.0);
+    ASSERT_LE(x, 1e6 + 1);
+  }
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent{23};
+  Rng child = parent.fork();
+  // The child stream should not be a shifted copy of the parent's.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(Time::ms(3), [&] { fired.push_back(3); });
+  q.push(Time::ms(1), [&] { fired.push_back(1); });
+  q.push(Time::ms(2), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.push(Time::ms(5), [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool fired = false;
+  auto h = q.push(Time::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeOnEmptyHandle) {
+  EventHandle h;
+  h.cancel();
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  q.push(Time::ms(9), [] {});
+  h.cancel();
+  EXPECT_EQ(q.next_time(), Time::ms(9));
+}
+
+TEST(EventQueue, HandleReportsFiredAsNotPending) {
+  EventQueue q;
+  auto h = q.push(Time::ms(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  Time seen;
+  sim.after(Time::ms(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, Time::ms(7));
+  EXPECT_EQ(sim.now(), Time::ms(7));
+}
+
+TEST(Simulator, RunUntilAdvancesClockToBound) {
+  Simulator sim;
+  int count = 0;
+  sim.after(Time::ms(1), [&] { ++count; });
+  sim.after(Time::ms(100), [&] { ++count; });
+  sim.run_until(Time::ms(50));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), Time::ms(50));
+  sim.run_until(Time::ms(200));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  std::function<void()> tick = [&] {
+    times.push_back(sim.now().count_ms());
+    if (times.size() < 5) sim.after(Time::ms(10), tick);
+  };
+  sim.after(Time::ms(10), tick);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.after(Time::ms(i), [&] {
+      ++count;
+      if (count == 3) sim.stop();
+    });
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), Time::ms(3));
+}
+
+TEST(Simulator, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 17; ++i) sim.after(Time::ms(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 17u);
+}
+
+}  // namespace
+}  // namespace pp::sim

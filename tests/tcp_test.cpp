@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testutil.hpp"
+#include "transport/tcp.hpp"
+
+namespace pp::transport {
+namespace {
+
+using sim::Time;
+using test::NodePair;
+
+struct TcpFixture : ::testing::Test {
+  // Builds a server on B and an active connection from A, returns both.
+  void start(NodePair& np, TcpOptions copts = {}, TcpOptions sopts = {}) {
+    server = std::make_unique<TcpServer>(np.b, 80, sopts);
+    server->set_on_accept([this](TcpConnection& c) {
+      accepted = &c;
+      c.set_on_deliver([this](std::uint64_t n) { server_received += n; });
+    });
+    client = tcp_connect(np.a, np.b.ip(), 80, copts);
+    client->set_on_deliver([this](std::uint64_t n) { client_received += n; });
+  }
+
+  std::unique_ptr<TcpServer> server;
+  std::unique_ptr<TcpConnection> client;
+  TcpConnection* accepted = nullptr;
+  std::uint64_t client_received = 0;
+  std::uint64_t server_received = 0;
+};
+
+TEST_F(TcpFixture, ThreeWayHandshake) {
+  NodePair np;
+  start(np);
+  np.sim.run();
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_TRUE(client->established());
+  EXPECT_TRUE(accepted->established());
+}
+
+TEST_F(TcpFixture, ClientToServerTransfer) {
+  NodePair np;
+  start(np);
+  client->send(100'000);
+  np.sim.run();
+  EXPECT_EQ(server_received, 100'000u);
+  EXPECT_EQ(client->bytes_acked(), 100'000u);
+}
+
+TEST_F(TcpFixture, ServerToClientTransferAfterAccept) {
+  NodePair np;
+  start(np);
+  np.sim.after(Time::ms(50), [&] { accepted->send(250'000); });
+  np.sim.run();
+  EXPECT_EQ(client_received, 250'000u);
+}
+
+TEST_F(TcpFixture, BidirectionalTransfer) {
+  NodePair np;
+  start(np);
+  client->send(40'000);
+  np.sim.after(Time::ms(10), [&] { accepted->send(60'000); });
+  np.sim.run();
+  EXPECT_EQ(server_received, 40'000u);
+  EXPECT_EQ(client_received, 60'000u);
+}
+
+TEST_F(TcpFixture, CleanCloseBothSides) {
+  NodePair np;
+  start(np);
+  bool client_closed = false;
+  client->send(10'000);
+  client->set_on_closed([&] { client_closed = true; });
+  np.sim.after(Time::ms(5), [&] {
+    client->close();
+    accepted->close();
+  });
+  np.sim.run();
+  EXPECT_TRUE(client->done());
+  EXPECT_TRUE(accepted->done());
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(server_received, 10'000u);
+}
+
+TEST_F(TcpFixture, TransferSurvivesHeavyLoss) {
+  NodePair np{11, {}, 0.1};  // 10% loss each way
+  start(np);
+  client->send(200'000);
+  np.sim.run_until(Time::sec(120));
+  EXPECT_EQ(server_received, 200'000u);
+  EXPECT_GT(client->stats().retransmissions, 0u);
+}
+
+TEST_F(TcpFixture, FastRetransmitTriggersBeforeTimeout) {
+  NodePair np{23, {}, 0.02};
+  start(np);
+  client->send(2'000'000);
+  np.sim.run_until(Time::sec(300));
+  EXPECT_EQ(server_received, 2'000'000u);
+  EXPECT_GT(client->stats().fast_retransmits, 0u);
+}
+
+TEST_F(TcpFixture, HandshakeRetriesWhenSynLost) {
+  NodePair np{5};
+  np.drop_to_b.set_loss(1.0);  // SYN always lost initially
+  start(np);
+  np.sim.after(Time::ms(1500), [&] { np.drop_to_b.set_loss(0.0); });
+  np.sim.run_until(Time::sec(20));
+  EXPECT_TRUE(client->established());
+}
+
+TEST_F(TcpFixture, SendGateHoldsTraffic) {
+  NodePair np;
+  start(np);
+  np.sim.run_until(Time::ms(100));  // establish
+  accepted->set_send_gate(false);
+  accepted->send(50'000);
+  np.sim.run_until(Time::ms(500));
+  EXPECT_EQ(client_received, 0u);
+  accepted->set_send_gate(true);
+  np.sim.run_until(Time::sec(10));
+  EXPECT_EQ(client_received, 50'000u);
+}
+
+TEST_F(TcpFixture, ManualConsumeThrottlesSender) {
+  NodePair np;
+  TcpOptions sopts;
+  sopts.manual_consume = true;
+  sopts.recv_window = 32 * 1024;
+  start(np, {}, sopts);
+  client->send(1'000'000);
+  np.sim.run_until(Time::sec(5));
+  // Server never consumes: at most one window (plus a probe) arrives.
+  EXPECT_LE(server_received, 33'000u);
+  EXPECT_GT(server_received, 0u);
+
+  // Consuming reopens the window and the rest flows.
+  std::function<void()> drain = [&] {
+    if (accepted != nullptr && server_received > 0) {
+      static std::uint64_t consumed = 0;
+      if (server_received > consumed) {
+        accepted->consume(server_received - consumed);
+        consumed = server_received;
+      }
+    }
+    if (server_received < 1'000'000) np.sim.after(Time::ms(50), drain);
+  };
+  np.sim.after(Time::zero(), drain);
+  np.sim.run_until(Time::sec(300));
+  EXPECT_EQ(server_received, 1'000'000u);
+}
+
+TEST_F(TcpFixture, EgressHookSeesEverySegment) {
+  NodePair np;
+  start(np);
+  std::uint64_t hook_count = 0;
+  client->set_egress_hook([&](net::Packet&) { ++hook_count; });
+  client->send(20'000);
+  np.sim.run();
+  EXPECT_EQ(hook_count, client->stats().segments_sent - 1);  // SYN preceded hook
+}
+
+TEST_F(TcpFixture, RttEstimateTracksPathDelay) {
+  net::WiredParams wp;
+  wp.propagation = Time::ms(20);
+  NodePair np{7, wp};
+  start(np);
+  client->send(500'000);
+  np.sim.run();
+  EXPECT_GE(client->srtt(), Time::ms(40));
+  EXPECT_LE(client->srtt(), Time::ms(120));
+}
+
+TEST_F(TcpFixture, StatsCountBytesAndSegments) {
+  NodePair np;
+  start(np);
+  client->send(14'000);  // exactly 10 MSS
+  np.sim.run();
+  const TcpStats& st = client->stats();
+  EXPECT_EQ(st.bytes_sent, 14'000u);
+  EXPECT_GE(st.segments_sent, 11u);  // SYN + 10 data
+  EXPECT_EQ(accepted->stats().bytes_delivered, 14'000u);
+}
+
+TEST_F(TcpFixture, DeferredRetransmissionWaitsForGate) {
+  NodePair np{31};
+  TcpOptions sopts;
+  sopts.defer_rtx_when_gated = true;
+  start(np, {}, sopts);
+  np.sim.run_until(Time::ms(100));
+  ASSERT_TRUE(accepted->established());
+
+  // Lose everything to the client, then gate off; the RTO must not fire
+  // retransmissions while gated.
+  np.drop_to_a.set_loss(1.0);
+  accepted->send(5'000);
+  np.sim.run_until(Time::ms(300));
+  accepted->set_send_gate(false);
+  np.drop_to_a.set_loss(0.0);
+  const auto rtx_before = accepted->stats().retransmissions;
+  np.sim.run_until(Time::sec(30));
+  EXPECT_EQ(accepted->stats().retransmissions, rtx_before);
+  accepted->set_send_gate(true);
+  np.sim.run_until(Time::sec(60));
+  EXPECT_EQ(client_received, 5'000u);
+}
+
+TEST_F(TcpFixture, CongestionWindowGrowsFromSlowStart) {
+  NodePair np;
+  start(np);
+  const auto initial_cwnd = client->cwnd();
+  client->send(500'000);
+  np.sim.run();
+  EXPECT_GT(client->cwnd(), initial_cwnd);
+}
+
+TEST(TcpServer, ReapRemovesClosedConnections) {
+  NodePair np;
+  TcpServer server{np.b, 80};
+  server.set_on_accept([](TcpConnection& c) {
+    c.set_on_established([&c] { c.close(); });
+  });
+  auto c1 = tcp_connect(np.a, np.b.ip(), 80);
+  c1->close();
+  np.sim.run_until(Time::sec(10));
+  EXPECT_EQ(server.connection_count(), 1u);
+  server.reap_done();
+  EXPECT_EQ(server.connection_count(), 0u);
+}
+
+TEST(TcpServer, AcceptsMultipleConcurrentConnections) {
+  NodePair np;
+  TcpServer server{np.b, 80};
+  std::uint64_t total = 0;
+  server.set_on_accept([&](TcpConnection& c) {
+    c.set_on_deliver([&](std::uint64_t n) { total += n; });
+  });
+  auto c1 = tcp_connect(np.a, np.b.ip(), 80);
+  auto c2 = tcp_connect(np.a, np.b.ip(), 80);
+  auto c3 = tcp_connect(np.a, np.b.ip(), 80);
+  c1->send(10'000);
+  c2->send(20'000);
+  c3->send(30'000);
+  np.sim.run();
+  EXPECT_EQ(server.connection_count(), 3u);
+  EXPECT_EQ(total, 60'000u);
+}
+
+}  // namespace
+}  // namespace pp::transport

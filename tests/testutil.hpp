@@ -1,0 +1,63 @@
+// Shared helpers for unit tests: two nodes joined by a configurable
+// (rate, delay, loss) duplex pipe — enough to exercise transports without
+// the full testbed.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::test {
+
+// Drops packets with probability p before handing them on.
+class LossySink : public net::PacketSink {
+ public:
+  LossySink(sim::Simulator& sim, net::PacketSink& next, double p_loss)
+      : sim_{sim}, next_{next}, p_loss_{p_loss} {}
+
+  void set_loss(double p) { p_loss_ = p; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  void handle_packet(net::Packet pkt) override {
+    if (p_loss_ > 0 && sim_.rng().chance(p_loss_)) {
+      ++dropped_;
+      return;
+    }
+    next_.handle_packet(std::move(pkt));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::PacketSink& next_;
+  double p_loss_;
+  std::uint64_t dropped_ = 0;
+};
+
+// Two nodes, A and B, joined by a duplex wired pipe with optional loss.
+struct NodePair {
+  explicit NodePair(std::uint64_t seed = 7, net::WiredParams params = {},
+                    double p_loss = 0.0)
+      : sim(seed),
+        a(sim, net::Ipv4Addr::octets(10, 0, 0, 1), "A"),
+        b(sim, net::Ipv4Addr::octets(10, 0, 0, 2), "B"),
+        drop_to_b(sim, b, p_loss),
+        drop_to_a(sim, a, p_loss),
+        to_b(sim, params, drop_to_b),
+        to_a(sim, params, drop_to_a) {
+    a.set_transmitter([this](net::Packet p) { to_b.transmit(std::move(p)); });
+    b.set_transmitter([this](net::Packet p) { to_a.transmit(std::move(p)); });
+  }
+
+  sim::Simulator sim;
+  net::Node a;
+  net::Node b;
+  LossySink drop_to_b;
+  LossySink drop_to_a;
+  net::Channel to_b;
+  net::Channel to_a;
+};
+
+}  // namespace pp::test
