@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delaycomp.dir/ablation_delaycomp.cpp.o"
+  "CMakeFiles/ablation_delaycomp.dir/ablation_delaycomp.cpp.o.d"
+  "ablation_delaycomp"
+  "ablation_delaycomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delaycomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_schedule_reuse.dir/ablation_schedule_reuse.cpp.o"
+  "CMakeFiles/ablation_schedule_reuse.dir/ablation_schedule_reuse.cpp.o.d"
+  "ablation_schedule_reuse"
+  "ablation_schedule_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedule_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sendcost.dir/ablation_sendcost.cpp.o"
+  "CMakeFiles/ablation_sendcost.dir/ablation_sendcost.cpp.o.d"
+  "ablation_sendcost"
+  "ablation_sendcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sendcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

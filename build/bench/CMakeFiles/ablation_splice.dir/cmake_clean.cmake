@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_splice.dir/ablation_splice.cpp.o"
+  "CMakeFiles/ablation_splice.dir/ablation_splice.cpp.o.d"
+  "ablation_splice"
+  "ablation_splice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsd_baseline.dir/bsd_baseline.cpp.o"
+  "CMakeFiles/bsd_baseline.dir/bsd_baseline.cpp.o.d"
+  "bsd_baseline"
+  "bsd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

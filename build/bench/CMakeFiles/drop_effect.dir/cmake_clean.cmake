@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_effect.dir/drop_effect.cpp.o"
+  "CMakeFiles/drop_effect.dir/drop_effect.cpp.o.d"
+  "drop_effect"
+  "drop_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mixed.dir/fig5_mixed.cpp.o"
+  "CMakeFiles/fig5_mixed.dir/fig5_mixed.cpp.o.d"
+  "fig5_mixed"
+  "fig5_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_early_transition.dir/fig6_early_transition.cpp.o"
+  "CMakeFiles/fig6_early_transition.dir/fig6_early_transition.cpp.o.d"
+  "fig6_early_transition"
+  "fig6_early_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_early_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_static_slots.dir/fig7_static_slots.cpp.o"
+  "CMakeFiles/fig7_static_slots.dir/fig7_static_slots.cpp.o.d"
+  "fig7_static_slots"
+  "fig7_static_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_static_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

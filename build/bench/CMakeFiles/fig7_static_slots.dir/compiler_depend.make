@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_static_slots.
+# This may be replaced when dependencies are built.

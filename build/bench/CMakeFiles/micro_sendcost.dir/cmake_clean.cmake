@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sendcost.dir/micro_sendcost.cpp.o"
+  "CMakeFiles/micro_sendcost.dir/micro_sendcost.cpp.o.d"
+  "micro_sendcost"
+  "micro_sendcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sendcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_comparison.dir/optimal_comparison.cpp.o"
+  "CMakeFiles/optimal_comparison.dir/optimal_comparison.cpp.o.d"
+  "optimal_comparison"
+  "optimal_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_loss.dir/packet_loss.cpp.o"
+  "CMakeFiles/packet_loss.dir/packet_loss.cpp.o.d"
+  "packet_loss"
+  "packet_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

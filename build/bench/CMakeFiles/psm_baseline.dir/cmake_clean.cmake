@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_baseline.dir/psm_baseline.cpp.o"
+  "CMakeFiles/psm_baseline.dir/psm_baseline.cpp.o.d"
+  "psm_baseline"
+  "psm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication.dir/replication.cpp.o"
+  "CMakeFiles/replication.dir/replication.cpp.o.d"
+  "replication"
+  "replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

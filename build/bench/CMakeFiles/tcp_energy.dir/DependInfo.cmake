@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tcp_energy.cpp" "bench/CMakeFiles/tcp_energy.dir/tcp_energy.cpp.o" "gcc" "bench/CMakeFiles/tcp_energy.dir/tcp_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pp_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/pp_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/pp_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_energy.dir/tcp_energy.cpp.o"
+  "CMakeFiles/tcp_energy.dir/tcp_energy.cpp.o.d"
+  "tcp_energy"
+  "tcp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_traffic.dir/mixed_traffic.cpp.o"
+  "CMakeFiles/mixed_traffic.dir/mixed_traffic.cpp.o.d"
+  "mixed_traffic"
+  "mixed_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

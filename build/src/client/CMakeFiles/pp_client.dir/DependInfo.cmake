@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/bsd_client.cpp" "src/client/CMakeFiles/pp_client.dir/bsd_client.cpp.o" "gcc" "src/client/CMakeFiles/pp_client.dir/bsd_client.cpp.o.d"
+  "/root/repo/src/client/energy_client.cpp" "src/client/CMakeFiles/pp_client.dir/energy_client.cpp.o" "gcc" "src/client/CMakeFiles/pp_client.dir/energy_client.cpp.o.d"
+  "/root/repo/src/client/power_daemon.cpp" "src/client/CMakeFiles/pp_client.dir/power_daemon.cpp.o" "gcc" "src/client/CMakeFiles/pp_client.dir/power_daemon.cpp.o.d"
+  "/root/repo/src/client/psm_client.cpp" "src/client/CMakeFiles/pp_client.dir/psm_client.cpp.o" "gcc" "src/client/CMakeFiles/pp_client.dir/psm_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/pp_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pp_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

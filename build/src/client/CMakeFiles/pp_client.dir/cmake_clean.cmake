@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_client.dir/bsd_client.cpp.o"
+  "CMakeFiles/pp_client.dir/bsd_client.cpp.o.d"
+  "CMakeFiles/pp_client.dir/energy_client.cpp.o"
+  "CMakeFiles/pp_client.dir/energy_client.cpp.o.d"
+  "CMakeFiles/pp_client.dir/power_daemon.cpp.o"
+  "CMakeFiles/pp_client.dir/power_daemon.cpp.o.d"
+  "CMakeFiles/pp_client.dir/psm_client.cpp.o"
+  "CMakeFiles/pp_client.dir/psm_client.cpp.o.d"
+  "libpp_client.a"
+  "libpp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_energy.dir/wnic.cpp.o"
+  "CMakeFiles/pp_energy.dir/wnic.cpp.o.d"
+  "libpp_energy.a"
+  "libpp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

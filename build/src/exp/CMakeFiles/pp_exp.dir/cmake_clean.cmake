@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_exp.dir/scenario.cpp.o"
+  "CMakeFiles/pp_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/pp_exp.dir/testbed.cpp.o"
+  "CMakeFiles/pp_exp.dir/testbed.cpp.o.d"
+  "libpp_exp.a"
+  "libpp_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

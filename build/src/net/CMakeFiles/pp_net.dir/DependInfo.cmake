@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/access_point.cpp" "src/net/CMakeFiles/pp_net.dir/access_point.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/access_point.cpp.o.d"
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/pp_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/pp_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/pp_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/pp_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/wireless.cpp" "src/net/CMakeFiles/pp_net.dir/wireless.cpp.o" "gcc" "src/net/CMakeFiles/pp_net.dir/wireless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_net.dir/access_point.cpp.o"
+  "CMakeFiles/pp_net.dir/access_point.cpp.o.d"
+  "CMakeFiles/pp_net.dir/addr.cpp.o"
+  "CMakeFiles/pp_net.dir/addr.cpp.o.d"
+  "CMakeFiles/pp_net.dir/link.cpp.o"
+  "CMakeFiles/pp_net.dir/link.cpp.o.d"
+  "CMakeFiles/pp_net.dir/node.cpp.o"
+  "CMakeFiles/pp_net.dir/node.cpp.o.d"
+  "CMakeFiles/pp_net.dir/packet.cpp.o"
+  "CMakeFiles/pp_net.dir/packet.cpp.o.d"
+  "CMakeFiles/pp_net.dir/wireless.cpp.o"
+  "CMakeFiles/pp_net.dir/wireless.cpp.o.d"
+  "libpp_net.a"
+  "libpp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

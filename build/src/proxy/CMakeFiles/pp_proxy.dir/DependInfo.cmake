@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/bandwidth.cpp" "src/proxy/CMakeFiles/pp_proxy.dir/bandwidth.cpp.o" "gcc" "src/proxy/CMakeFiles/pp_proxy.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/proxy/marker.cpp" "src/proxy/CMakeFiles/pp_proxy.dir/marker.cpp.o" "gcc" "src/proxy/CMakeFiles/pp_proxy.dir/marker.cpp.o.d"
+  "/root/repo/src/proxy/schedule.cpp" "src/proxy/CMakeFiles/pp_proxy.dir/schedule.cpp.o" "gcc" "src/proxy/CMakeFiles/pp_proxy.dir/schedule.cpp.o.d"
+  "/root/repo/src/proxy/scheduler.cpp" "src/proxy/CMakeFiles/pp_proxy.dir/scheduler.cpp.o" "gcc" "src/proxy/CMakeFiles/pp_proxy.dir/scheduler.cpp.o.d"
+  "/root/repo/src/proxy/transparent_proxy.cpp" "src/proxy/CMakeFiles/pp_proxy.dir/transparent_proxy.cpp.o" "gcc" "src/proxy/CMakeFiles/pp_proxy.dir/transparent_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pp_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_proxy.dir/bandwidth.cpp.o"
+  "CMakeFiles/pp_proxy.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/pp_proxy.dir/marker.cpp.o"
+  "CMakeFiles/pp_proxy.dir/marker.cpp.o.d"
+  "CMakeFiles/pp_proxy.dir/schedule.cpp.o"
+  "CMakeFiles/pp_proxy.dir/schedule.cpp.o.d"
+  "CMakeFiles/pp_proxy.dir/scheduler.cpp.o"
+  "CMakeFiles/pp_proxy.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pp_proxy.dir/transparent_proxy.cpp.o"
+  "CMakeFiles/pp_proxy.dir/transparent_proxy.cpp.o.d"
+  "libpp_proxy.a"
+  "libpp_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

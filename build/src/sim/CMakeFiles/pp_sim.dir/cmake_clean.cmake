@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pp_sim.dir/rng.cpp.o"
+  "CMakeFiles/pp_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/pp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/pp_sim.dir/time.cpp.o"
+  "CMakeFiles/pp_sim.dir/time.cpp.o.d"
+  "libpp_sim.a"
+  "libpp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_trace.dir/io.cpp.o"
+  "CMakeFiles/pp_trace.dir/io.cpp.o.d"
+  "CMakeFiles/pp_trace.dir/monitor.cpp.o"
+  "CMakeFiles/pp_trace.dir/monitor.cpp.o.d"
+  "CMakeFiles/pp_trace.dir/postmortem.cpp.o"
+  "CMakeFiles/pp_trace.dir/postmortem.cpp.o.d"
+  "libpp_trace.a"
+  "libpp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_transport.dir/tcp.cpp.o"
+  "CMakeFiles/pp_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/pp_transport.dir/udp.cpp.o"
+  "CMakeFiles/pp_transport.dir/udp.cpp.o.d"
+  "libpp_transport.a"
+  "libpp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_workload.dir/ftp.cpp.o"
+  "CMakeFiles/pp_workload.dir/ftp.cpp.o.d"
+  "CMakeFiles/pp_workload.dir/video.cpp.o"
+  "CMakeFiles/pp_workload.dir/video.cpp.o.d"
+  "CMakeFiles/pp_workload.dir/web.cpp.o"
+  "CMakeFiles/pp_workload.dir/web.cpp.o.d"
+  "libpp_workload.a"
+  "libpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marker_test.dir/marker_test.cpp.o"
+  "CMakeFiles/marker_test.dir/marker_test.cpp.o.d"
+  "marker_test"
+  "marker_test.pdb"
+  "marker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
