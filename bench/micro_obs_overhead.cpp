@@ -1,0 +1,81 @@
+// How much does observability cost on the proxy burst hot loop?
+//
+// Three states of the same kernel (bench/obs_overhead_common.hpp):
+//   Attached    — hook wired to a live MetricsRegistry + Timeline
+//   Detached    — hook present but null: one predictable branch per site
+//   CompiledOut — built with -DPP_OBS_DISABLED: instrumentation erased
+// Detached vs CompiledOut is the claim under test: the runtime-off path
+// should be indistinguishable from the compile-time-off path, and both
+// should match the raw loop.
+//
+// A scenario-level pair (Testbed with observe on/off) closes the loop on
+// real end-to-end overhead.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "exp/testbed.hpp"
+#include "obs/observer.hpp"
+#include "obs_overhead_common.hpp"
+#include "proxy/scheduler.hpp"
+
+namespace {
+
+using namespace pp;
+
+constexpr std::uint64_t kPacketsPerIter = 4096;
+
+void BM_HotLoopAttached(benchmark::State& state) {
+  obs::Observer ob;
+  for (auto _ : state) {
+    auto q = pp_bench::burst_hot_loop(ob.hook(), kPacketsPerIter);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPacketsPerIter));
+}
+BENCHMARK(BM_HotLoopAttached);
+
+void BM_HotLoopDetached(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = pp_bench::burst_hot_loop(obs::Hook{}, kPacketsPerIter);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPacketsPerIter));
+}
+BENCHMARK(BM_HotLoopDetached);
+
+void BM_HotLoopCompiledOut(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = obs_compiled_out_hot_loop(kPacketsPerIter);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPacketsPerIter));
+}
+BENCHMARK(BM_HotLoopCompiledOut);
+
+void run_testbed(bool observe) {
+  exp::TestbedParams tp;
+  tp.num_clients = 4;
+  tp.observe = observe;
+  exp::Testbed bed{tp, std::make_unique<proxy::FixedIntervalScheduler>(
+                           sim::Time::ms(100))};
+  bed.start();
+  bed.run_until(sim::Time::seconds(5));
+}
+
+void BM_TestbedObserveOn(benchmark::State& state) {
+  for (auto _ : state) run_testbed(true);
+}
+BENCHMARK(BM_TestbedObserveOn)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedObserveOff(benchmark::State& state) {
+  for (auto _ : state) run_testbed(false);
+}
+BENCHMARK(BM_TestbedObserveOff)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

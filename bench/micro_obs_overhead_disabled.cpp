@@ -1,0 +1,10 @@
+// The compile-time-off half of the obs overhead microbenchmark: this TU
+// builds the identical hot loop with PP_OBS_DISABLED, so PP_OBS(...)
+// expands to nothing and obs::Hook is the empty obs_off variant.
+#define PP_OBS_DISABLED 1
+
+#include "obs_overhead_common.hpp"
+
+std::uint64_t obs_compiled_out_hot_loop(std::uint64_t iters) {
+  return pp_bench::burst_hot_loop(pp::obs::Hook{}, iters);
+}

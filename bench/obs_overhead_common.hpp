@@ -1,0 +1,53 @@
+// Shared kernel for the observability overhead microbenchmark: a stand-in
+// for the proxy's burst hot loop (enqueue accounting + per-packet
+// instrumentation), compiled twice — once normally and once in a TU that
+// defines PP_OBS_DISABLED — so the same source measures the runtime-off
+// and compile-time-off paths.
+//
+// `static` on purpose: the PP_OBS macro expands differently per TU, so the
+// kernel must have internal linkage to stay ODR-clean.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "sim/time.hpp"
+
+namespace pp_bench {
+
+// Mirrors TransparentProxy::enqueue_downlink / open_burst: per packet, one
+// queue-bytes update plus (counter inc, histogram observe, time-weighted
+// gauge set) behind cached handles.
+static inline std::uint64_t burst_hot_loop(pp::obs::Hook hook,
+                                           std::uint64_t iters) {
+  (void)hook;
+  [[maybe_unused]] pp::obs::Counter* ctr = nullptr;
+  [[maybe_unused]] pp::obs::Histogram* hist = nullptr;
+  [[maybe_unused]] pp::obs::TimeWeightedGauge* twg = nullptr;
+  PP_OBS(if (auto* m = hook.metrics()) {
+    ctr = m->counter("bench.packets");
+    hist = m->histogram("bench.payload");
+    twg = m->time_gauge("bench.queue_depth");
+  });
+  std::uint64_t q = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const std::uint64_t payload = 100 + (i & 0x3FF);
+    q += payload;
+    PP_OBS(if (ctr) {
+      ctr->inc();
+      hist->observe(payload);
+      twg->set(pp::sim::Time::ns(static_cast<std::int64_t>(i)),
+               static_cast<double>(q));
+    });
+    q -= payload / 2;
+  }
+  return q;
+}
+
+}  // namespace pp_bench
+
+// Defined in micro_obs_overhead_disabled.cpp, where PP_OBS_DISABLED strips
+// every instrumentation statement at compile time.
+std::uint64_t obs_compiled_out_hot_loop(std::uint64_t iters);

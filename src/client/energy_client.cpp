@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace pp::client {
 
 EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
@@ -16,6 +19,7 @@ EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
               [this](bool awake) {
                 acc_.set_mode(sim_.now(), awake ? energy::WnicMode::Idle
                                                 : energy::WnicMode::Sleep);
+                record_power_state(awake);
               }},
       start_time_{sim.now()} {
   const auto station_id = medium.attach_station(*this, ip);
@@ -38,6 +42,23 @@ EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
 
 void EnergyAwareClient::start() {
   if (!params_.naive) daemon_.start();
+}
+
+void EnergyAwareClient::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    twg_awake_ = m->time_gauge("client." + ip().str() + ".awake");
+    twg_awake_->set(sim_.now(), listening() ? 1.0 : 0.0);
+  } daemon_.set_obs(hook, ip().raw()));
+}
+
+void EnergyAwareClient::record_power_state(bool awake) {
+  (void)awake;
+  PP_OBS(if (twg_awake_) twg_awake_->set(sim_.now(), awake ? 1.0 : 0.0);
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(),
+                        awake ? obs::EventKind::Wake : obs::EventKind::Sleep,
+                        ip().raw()));
 }
 
 bool EnergyAwareClient::listening() const {

@@ -14,6 +14,7 @@
 #include "energy/wnic.hpp"
 #include "net/node.hpp"
 #include "net/wireless.hpp"
+#include "obs/hooks.hpp"
 #include "proxy/schedule.hpp"
 #include "sim/simulator.hpp"
 
@@ -47,6 +48,10 @@ class EnergyAwareClient : public net::WirelessStation {
   // Begin the power daemon (no-op for naive clients).
   void start();
 
+  // Publish the per-client awake duty-cycle gauge ("client.<ip>.awake")
+  // and sleep/wake timeline events; also hooks the daemon's miss counter.
+  void set_obs(obs::Hook hook);
+
   net::Node& node() { return node_; }
   net::Ipv4Addr ip() const { return node_.ip(); }
   PowerDaemon& daemon() { return daemon_; }
@@ -71,6 +76,8 @@ class EnergyAwareClient : public net::WirelessStation {
   void on_air(sim::Time start, sim::Duration dur) override;
 
  private:
+  void record_power_state(bool awake);
+
   sim::Simulator& sim_;
   net::Node node_;
   ClientParams params_;
@@ -78,6 +85,9 @@ class EnergyAwareClient : public net::WirelessStation {
   PowerDaemon daemon_;
   ClientTraffic traffic_;
   sim::Time start_time_;
+
+  obs::Hook obs_;
+  obs::TimeWeightedGauge* twg_awake_ = nullptr;
 };
 
 }  // namespace pp::client

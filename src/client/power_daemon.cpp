@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace pp::client {
 
 PowerDaemon::PowerDaemon(sim::Simulator& sim, net::Ipv4Addr self,
@@ -26,6 +29,14 @@ void PowerDaemon::set_wnic(bool awake) {
 void PowerDaemon::start() {
   state_ = State::AwaitingSchedule;
   set_wnic(true);
+}
+
+void PowerDaemon::set_obs(obs::Hook hook, std::uint32_t subject) {
+  (void)hook;
+  (void)subject;
+  PP_OBS(obs_ = hook; obs_subject_ = subject;
+         if (auto* m = obs_.metrics())
+             ctr_sched_missed_ = m->counter("client.schedules_missed"));
 }
 
 void PowerDaemon::settle_first_wait() {
@@ -202,6 +213,10 @@ void PowerDaemon::end_burst(bool via_mark) {
 void PowerDaemon::on_schedule_grace_expired() {
   if (state_ != State::AwaitingSchedule) return;
   ++stats_.schedules_missed;
+  PP_OBS(if (ctr_sched_missed_) ctr_sched_missed_->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::ScheduleMissed,
+                        obs_subject_));
   // The early portion of the wait was ordinary early-transition waste; the
   // rest accrues as missed-schedule waste until a schedule shows up.
   if (waiting_first_) {

@@ -29,6 +29,7 @@
 
 #include "client/delay_comp.hpp"
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 #include "proxy/schedule.hpp"
 #include "sim/simulator.hpp"
 
@@ -98,6 +99,9 @@ class PowerDaemon {
   bool awake() const { return awake_; }
   const DaemonStats& stats() const { return stats_; }
 
+  // Publish missed-schedule events keyed to `subject` (the client's IP).
+  void set_obs(obs::Hook hook, std::uint32_t subject);
+
  private:
   enum class State : std::uint8_t {
     AwaitingSchedule,  // awake, expecting a schedule broadcast
@@ -147,6 +151,10 @@ class PowerDaemon {
   sim::Time hold_until_;  // no sleeping before this (activity hold)
   bool miss_active_ = false;
   sim::Time miss_start_;
+
+  obs::Hook obs_;
+  std::uint32_t obs_subject_ = 0;
+  obs::Counter* ctr_sched_missed_ = nullptr;
 
   DaemonStats stats_;
 };

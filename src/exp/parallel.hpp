@@ -4,17 +4,27 @@
 // state, so whole configurations are embarrassingly parallel: a fixed pool
 // of std::jthread workers pulls indices from an atomic counter.  Results
 // land in order, so output is deterministic regardless of thread timing.
+//
+// Exception safety: a task that throws must not let the exception escape
+// the worker thread (that would std::terminate the process).  The first
+// exception is captured; remaining queued tasks are skipped, in-flight
+// tasks finish, all workers join, and the exception is rethrown in the
+// caller.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace pp::exp {
 
 // Run tasks[i]() for every i, `threads`-wide; returns results in order.
+// If any task throws, the first exception (by completion order) is
+// rethrown here after all workers have joined.
 template <typename Result>
 std::vector<Result> run_parallel(
     const std::vector<std::function<Result()>>& tasks, unsigned threads = 0) {
@@ -25,19 +35,30 @@ std::vector<Result> run_parallel(
                                static_cast<unsigned>(tasks.size() ? tasks.size() : 1));
   std::vector<Result> results(tasks.size());
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   {
     std::vector<std::jthread> pool;
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
         for (;;) {
+          if (failed.load(std::memory_order_relaxed)) return;
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= tasks.size()) return;
-          results[i] = tasks[i]();
+          try {
+            results[i] = tasks[i]();
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock{error_mu};
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
         }
       });
     }
   }  // jthreads join here
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -143,6 +143,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const sim::Time horizon = sim::Time::seconds(cfg.duration_s);
   bed.run_until(horizon);
 
+  if (auto* m = bed.metrics()) m->finalize(horizon);
+
   ScenarioResult res;
   res.horizon = horizon;
   res.proxy_stats = bed.proxy().stats();
@@ -181,6 +183,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     res.clients.push_back(r);
   }
   if (cfg.keep_trace) res.trace = bed.monitor().take();
+  if (cfg.keep_obs) res.obs = bed.observer();
   return res;
 }
 

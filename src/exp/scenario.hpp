@@ -55,6 +55,7 @@ struct ScenarioConfig {
   int web_pages = 20;
   double web_think_mean_s = 4.0;
   bool keep_trace = false;  // retain the monitoring-station trace
+  bool keep_obs = false;    // retain the metrics registry + timeline
   // Default per-frame corruption probability on the wireless medium (real
   // 802.11b loses the occasional frame; lost marks and schedules are what
   // produce the paper's worst-case clients).
@@ -95,6 +96,9 @@ struct ScenarioResult {
   trace::TraceBuffer trace;  // populated when keep_trace
   std::uint64_t ap_drops = 0;
   std::uint64_t frames_on_air = 0;
+  // Populated when keep_obs: the full metrics registry (time gauges already
+  // finalized at `horizon`) and event timeline from the run.
+  std::shared_ptr<obs::Observer> obs;
 };
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg);

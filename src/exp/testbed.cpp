@@ -42,6 +42,17 @@ Testbed::Testbed(TestbedParams params,
         sim_, medium_, testbed_client_ip(i), "client" + std::to_string(i),
         params_.client));
   }
+
+#if PP_OBS_ENABLED
+  if (params_.observe) {
+    observer_ = std::make_shared<obs::Observer>();
+    const obs::Hook hook = observer_->hook();
+    medium_.set_obs(hook);
+    ap_.set_obs(hook);
+    proxy_->set_obs(hook);
+    for (auto& c : clients_) c->set_obs(hook);
+  }
+#endif
 }
 
 net::Node& Testbed::add_server(const std::string& name) {

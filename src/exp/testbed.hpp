@@ -21,6 +21,7 @@
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/wireless.hpp"
+#include "obs/observer.hpp"
 #include "proxy/scheduler.hpp"
 #include "proxy/transparent_proxy.hpp"
 #include "sim/simulator.hpp"
@@ -37,6 +38,10 @@ struct TestbedParams {
   net::AccessPointParams ap{};
   client::ClientParams client{};
   proxy::ProxyParams proxy{};
+  // Attach a MetricsRegistry + Timeline to every component.  Disable to
+  // run with all instrumentation hooks detached (near-zero overhead; see
+  // bench/micro_obs_overhead.cpp for the compile-time-off path).
+  bool observe = true;
 };
 
 class Testbed {
@@ -52,6 +57,16 @@ class Testbed {
   proxy::TransparentProxy& proxy() { return *proxy_; }
   trace::MonitoringStation& monitor() { return monitor_; }
   net::AccessPoint& access_point() { return ap_; }
+
+  // The unified observer (null when params.observe is false or the build
+  // defines PP_OBS_DISABLED).  Shared so results can outlive the testbed.
+  std::shared_ptr<obs::Observer> observer() { return observer_; }
+  obs::MetricsRegistry* metrics() {
+    return observer_ ? &observer_->metrics : nullptr;
+  }
+  obs::Timeline* timeline() {
+    return observer_ ? &observer_->timeline : nullptr;
+  }
 
   // Add a wired server (10.0.0.<n>).  Must precede start().
   net::Node& add_server(const std::string& name);
@@ -78,6 +93,7 @@ class Testbed {
   std::unique_ptr<net::PointToPointLink> proxy_ap_link_;
   std::unique_ptr<net::ChannelSink> ap_uplink_sink_;
   trace::MonitoringStation monitor_;
+  std::shared_ptr<obs::Observer> observer_;
   std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;
   std::vector<std::unique_ptr<net::Node>> servers_;
   int next_server_ = 1;

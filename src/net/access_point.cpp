@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace pp::net {
 
 AccessPoint::AccessPoint(sim::Simulator& sim, WirelessMedium& medium,
@@ -22,6 +25,7 @@ void AccessPoint::handle_packet(Packet pkt) {
       for (const auto& p : it->second) held += p.wire_size();
       if (held + pkt.wire_size() > params_.queue_limit_bytes) {
         ++dropped_;
+        note_drop(pkt);
         return;
       }
       it->second.push_back(std::move(pkt));
@@ -31,12 +35,33 @@ void AccessPoint::handle_packet(Packet pkt) {
   forward_downlink(std::move(pkt));
 }
 
+void AccessPoint::note_drop(const Packet& pkt) {
+  (void)pkt;
+  PP_OBS(if (ctr_dropped_) ctr_dropped_->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::Drop, pkt.dst.raw(),
+                        pkt.payload));
+}
+
+void AccessPoint::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_dropped_ = m->counter("ap.downlink_dropped");
+    ctr_forwarded_ = m->counter("ap.downlink_forwarded");
+    twg_backlog_ = m->time_gauge("ap.backlog_bytes");
+    twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_));
+  });
+}
+
 void AccessPoint::forward_downlink(Packet pkt) {
   if (backlog_bytes_ + pkt.wire_size() > params_.queue_limit_bytes) {
     ++dropped_;
+    note_drop(pkt);
     return;
   }
   backlog_bytes_ += pkt.wire_size();
+  PP_OBS(if (twg_backlog_)
+             twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_)));
 
   sim::Duration delay = params_.base_delay;
   auto& rng = sim_.rng();
@@ -56,6 +81,10 @@ void AccessPoint::forward_downlink(Packet pkt) {
     assert(backlog_bytes_ >= wire);
     backlog_bytes_ -= wire;
     ++forwarded_;
+    PP_OBS(if (ctr_forwarded_) {
+      ctr_forwarded_->inc();
+      twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_));
+    });
     medium_.transmit(radio_id_, std::move(p));
   });
 }

@@ -14,6 +14,7 @@
 #include "net/link.hpp"
 #include "net/psm.hpp"
 #include "net/wireless.hpp"
+#include "obs/hooks.hpp"
 #include "sim/simulator.hpp"
 
 namespace pp::net {
@@ -49,6 +50,9 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t downlink_forwarded() const { return forwarded_; }
   std::uint64_t backlog_bytes() const { return backlog_bytes_; }
 
+  // Publish drop/forward counters and the backlog depth gauge.
+  void set_obs(obs::Hook hook);
+
   // -- 802.11 power-save mode (see net/psm.hpp) -----------------------------------
   // Begin broadcasting beacons every `interval`.  Frames destined to
   // stations registered via register_psm_station() are buffered and
@@ -61,6 +65,7 @@ class AccessPoint : public PacketSink, public WirelessStation {
  private:
   void send_beacon();
   void forward_downlink(Packet pkt);
+  void note_drop(const Packet& pkt);
   sim::Simulator& sim_;
   WirelessMedium& medium_;
   WirelessMedium::StationId radio_id_;
@@ -70,6 +75,11 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t backlog_bytes_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t forwarded_ = 0;
+
+  obs::Hook obs_;
+  obs::Counter* ctr_dropped_ = nullptr;
+  obs::Counter* ctr_forwarded_ = nullptr;
+  obs::TimeWeightedGauge* twg_backlog_ = nullptr;
 
   // PSM state.
   bool psm_enabled_ = false;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace pp::net {
 
 WirelessMedium::WirelessMedium(sim::Simulator& sim, WirelessParams params)
@@ -22,6 +24,15 @@ WirelessMedium::StationId WirelessMedium::attach_station(WirelessStation& st,
                                                          Ipv4Addr ip) {
   stations_.push_back(Entry{&st, ip});
   return stations_.size() - 1;
+}
+
+void WirelessMedium::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_frames_sent_ = m->counter("net.frames_sent");
+    ctr_frames_missed_ = m->counter("net.frames_missed");
+    hist_airtime_us_ = m->histogram("net.frame_airtime_us");
+  });
 }
 
 bool WirelessMedium::station_listening(Ipv4Addr ip) const {
@@ -47,6 +58,10 @@ void WirelessMedium::transmit(StationId sender, Packet pkt) {
   const sim::Time end = start + airtime;
   busy_until_ = end;
   ++frames_sent_;
+  PP_OBS(if (ctr_frames_sent_) {
+    ctr_frames_sent_->inc();
+    hist_airtime_us_->observe(static_cast<std::uint64_t>(airtime.count_us()));
+  });
   stations_[sender].station->on_air(start, airtime);
   sim_.at(end + params_.propagation,
           [this, sender, airtime, start, p = std::move(pkt)]() mutable {
@@ -66,6 +81,7 @@ void WirelessMedium::deliver_to(StationId receiver, const Packet& pkt,
   } else {
     st.missed(pkt, airtime);
     ++frames_missed_;
+    PP_OBS(if (ctr_frames_missed_) ctr_frames_missed_->inc());
   }
 }
 

@@ -19,6 +19,7 @@
 
 #include "net/addr.hpp"
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 #include "sim/simulator.hpp"
 
 namespace pp::net {
@@ -111,6 +112,9 @@ class WirelessMedium {
 
   const WirelessParams& params() const { return params_; }
 
+  // Publish per-frame counters and the airtime histogram to an observer.
+  void set_obs(obs::Hook hook);
+
  private:
   struct Entry {
     WirelessStation* station;
@@ -130,6 +134,11 @@ class WirelessMedium {
   std::vector<SnifferFn> sniffers_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_missed_ = 0;
+
+  obs::Hook obs_;
+  obs::Counter* ctr_frames_sent_ = nullptr;
+  obs::Counter* ctr_frames_missed_ = nullptr;
+  obs::Histogram* hist_airtime_us_ = nullptr;
 };
 
 }  // namespace pp::net

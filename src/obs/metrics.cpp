@@ -1,0 +1,22 @@
+#include "obs/metrics.hpp"
+
+namespace pp::obs {
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const TimeWeightedGauge* MetricsRegistry::find_time_gauge(
+    const std::string& name) const {
+  auto it = time_gauges_.find(name);
+  return it == time_gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pp::obs

@@ -1,0 +1,20 @@
+// Observer: the registry + timeline pair a testbed hands to every
+// instrumented component.  Held by shared_ptr so results can outlive the
+// topology that produced them (ScenarioResult keeps the observer after the
+// Testbed is torn down).
+#pragma once
+
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace pp::obs {
+
+struct Observer {
+  MetricsRegistry metrics;
+  Timeline timeline;
+
+  Hook hook() { return Hook{&metrics, &timeline}; }
+};
+
+}  // namespace pp::obs

@@ -1,0 +1,41 @@
+#include "obs/timeline.hpp"
+
+namespace pp::obs {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::ScheduleBroadcast, "schedule"},
+    {EventKind::Burst, "burst"},
+    {EventKind::EmptyBurstMarker, "empty_marker"},
+    {EventKind::Drop, "drop"},
+    {EventKind::Sleep, "sleep"},
+    {EventKind::Wake, "wake"},
+    {EventKind::TcpStall, "tcp_stall"},
+    {EventKind::ScheduleMissed, "schedule_missed"},
+};
+
+}  // namespace
+
+const char* to_string(EventKind k) {
+  for (const auto& kn : kKindNames)
+    if (kn.kind == k) return kn.name;
+  return "?";
+}
+
+bool event_kind_from_string(std::string_view s, EventKind& out) {
+  for (const auto& kn : kKindNames) {
+    if (s == kn.name) {
+      out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pp::obs

@@ -1,0 +1,73 @@
+// Timeline: typed spans and point events keyed to sim::Time.
+//
+// The simulation-side analogue of a structured tcpdump: the proxy records
+// schedule broadcasts and bursts, clients record sleep/wake transitions,
+// TCP records stalls, queues record drops.  Events carry a subject (an
+// IPv4 address as a raw u32, 0 for "the system") and a free u64 value
+// whose meaning depends on the kind (bytes, entry count, ...).
+//
+// Deliberately not dependent on pp_net: instrumented components in every
+// layer include this header, and the lowest of them (the medium) sits in
+// pp_net itself.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace pp::obs {
+
+enum class EventKind : std::uint8_t {
+  ScheduleBroadcast,  // value = schedule entry count
+  Burst,              // span; subject = client, value = payload bytes burst
+  EmptyBurstMarker,   // subject = client
+  Drop,               // subject = client, value = dropped payload bytes
+  Sleep,              // subject = client (radio entered sleep)
+  Wake,               // subject = client (radio entered high power)
+  TcpStall,           // subject = remote endpoint, value = RTO count
+  ScheduleMissed,     // subject = client
+};
+
+const char* to_string(EventKind k);
+// Inverse of to_string; returns false for unknown names.
+bool event_kind_from_string(std::string_view s, EventKind& out);
+
+struct TimelineEvent {
+  sim::Time at;
+  sim::Duration dur;  // zero for point events
+  EventKind kind = EventKind::ScheduleBroadcast;
+  std::uint32_t subject = 0;  // IPv4 raw; 0 = no subject
+  std::uint64_t value = 0;
+};
+
+class Timeline {
+ public:
+  void record(sim::Time at, EventKind kind, std::uint32_t subject = 0,
+              std::uint64_t value = 0) {
+    span(at, sim::Time::zero(), kind, subject, value);
+  }
+  void span(sim::Time at, sim::Duration dur, EventKind kind,
+            std::uint32_t subject = 0, std::uint64_t value = 0) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(TimelineEvent{at, dur, kind, subject, value});
+  }
+
+  const std::vector<TimelineEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  // Events silently discarded after the capacity was hit.
+  std::uint64_t dropped() const { return dropped_; }
+  // Bound memory for long runs; existing events are kept.
+  void set_capacity(std::size_t max_events) { capacity_ = max_events; }
+
+ private:
+  std::vector<TimelineEvent> events_;
+  std::size_t capacity_ = 1u << 22;  // ~4M events ≈ 130 MB worst case
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pp::obs

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace pp::proxy {
 
 TransparentProxy::TransparentProxy(sim::Simulator& sim,
@@ -39,6 +42,21 @@ void TransparentProxy::calibrate(const net::WirelessMedium& medium) {
                                     params_.cost_model_scale});
   }
   estimator_.fit(samples);
+}
+
+void TransparentProxy::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_schedules_ = m->counter("proxy.schedules_sent");
+    ctr_queue_drops_ = m->counter("proxy.queue_drops");
+    ctr_queued_ = m->counter("proxy.queued_packets");
+    ctr_empty_markers_ = m->counter("proxy.empty_burst_markers");
+    hist_burst_us_ = m->histogram("proxy.burst_duration_us");
+    hist_burst_bytes_ = m->histogram("proxy.burst_bytes");
+    hist_interval_us_ = m->histogram("proxy.schedule_interval_us");
+    twg_queue_depth_ = m->time_gauge("proxy.queue_depth_bytes");
+    twg_queue_depth_->set(sim_.now(), static_cast<double>(total_q_bytes_));
+  });
 }
 
 void TransparentProxy::start(sim::Time first_srp) {
@@ -82,11 +100,20 @@ void TransparentProxy::enqueue_downlink(net::Packet pkt) {
   cs.last_activity = sim_.now();
   if (cs.pkt_q_bytes + pkt.payload > params_.queue_limit_bytes) {
     ++stats_.queue_drops;
+    PP_OBS(if (ctr_queue_drops_) ctr_queue_drops_->inc();
+           if (auto* tl = obs_.timeline())
+               tl->record(sim_.now(), obs::EventKind::Drop, pkt.dst.raw(),
+                          pkt.payload));
     return;
   }
   cs.pkt_q_bytes += pkt.payload;
+  total_q_bytes_ += pkt.payload;
   cs.pkt_q.push_back(std::move(pkt));
   ++stats_.queued_packets;
+  PP_OBS(if (ctr_queued_) {
+    ctr_queued_->inc();
+    twg_queue_depth_->set(sim_.now(), static_cast<double>(total_q_bytes_));
+  });
 }
 
 void TransparentProxy::on_wired_packet(net::Packet pkt) {
@@ -159,6 +186,10 @@ TransparentProxy::Splice& TransparentProxy::create_splice(
       /*passive=*/false);
 
   sp->client_side->set_send_gate(false);  // data flows only in bursts
+  PP_OBS(if (obs_) {
+    sp->client_side->set_obs(obs_);
+    sp->server_side->set_obs(obs_);
+  });
 
   sp->server_side->set_on_deliver([this, sp](std::uint64_t n) {
     sp->buffered += n;
@@ -255,6 +286,16 @@ void TransparentProxy::schedule_tick() {
   bc.sent_at = sim_.now();
   wireless_tx_(std::move(bc));
   ++stats_.schedules_sent;
+  PP_OBS(if (ctr_schedules_) {
+    ctr_schedules_->inc();
+    hist_interval_us_->observe(
+        static_cast<std::uint64_t>(built.interval.count_us()));
+    for (const ScheduleEntry& entry : msg->entries)
+      hist_burst_us_->observe(
+          static_cast<std::uint64_t>(entry.duration.count_us()));
+  } if (auto* tl = obs_.timeline())
+        tl->record(sim_.now(), obs::EventKind::ScheduleBroadcast, 0,
+                   msg->entries.size()));
 
   const sim::Time srp = sim_.now();
   for (const ScheduleEntry& entry : msg->entries) {
@@ -286,7 +327,11 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
       raw.push_back(std::move(cs.pkt_q.front()));
       cs.pkt_q.pop_front();
       cs.pkt_q_bytes -= raw.back().payload;
+      total_q_bytes_ -= raw.back().payload;
     }
+    PP_OBS(if (twg_queue_depth_ && !raw.empty())
+               twg_queue_depth_->set(sim_.now(),
+                                     static_cast<double>(total_q_bytes_)));
   }
 
   // Phase 2: plan the TCP allowance for the remaining slot time.
@@ -342,8 +387,10 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
     need_empty_marker = true;  // sent after the gates open, see below
   }
 
+  std::uint64_t burst_bytes = 0;
   for (net::Packet& p : raw) {
     stats_.udp_bytes_burst += p.payload;
+    burst_bytes += p.payload;
     wireless_tx_(std::move(p));
   }
 
@@ -369,6 +416,7 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
       p.splice->marker.bytes_written(p.chunk);
       p.splice->client_side->send(p.chunk);
       stats_.tcp_bytes_burst += p.chunk;
+      burst_bytes += p.chunk;
     }
     maybe_finish_splice(*p.splice);
   }
@@ -379,6 +427,11 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
   // by the gate opening (FINs, deferred retransmissions) reach the client
   // before it sleeps on the mark.
   if (need_empty_marker) send_empty_burst_marker(entry.client);
+
+  PP_OBS(if (hist_burst_bytes_) hist_burst_bytes_->observe(burst_bytes);
+         if (auto* tl = obs_.timeline())
+             tl->span(sim_.now(), entry.duration, obs::EventKind::Burst,
+                      entry.client.raw(), burst_bytes));
 }
 
 void TransparentProxy::close_burst(const ScheduleEntry& entry) {
@@ -399,6 +452,10 @@ void TransparentProxy::send_empty_burst_marker(net::Ipv4Addr client) {
   pkt.marked = true;
   pkt.sent_at = sim_.now();
   ++stats_.empty_burst_markers;
+  PP_OBS(if (ctr_empty_markers_) ctr_empty_markers_->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::EmptyBurstMarker,
+                        client.raw()));
   wireless_tx_(std::move(pkt));
 }
 

@@ -27,6 +27,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/wireless.hpp"
+#include "obs/hooks.hpp"
 #include "proxy/bandwidth.hpp"
 #include "proxy/marker.hpp"
 #include "proxy/schedule.hpp"
@@ -110,6 +111,10 @@ class TransparentProxy {
   // Pre-register a client so it appears in schedules before any traffic.
   void register_client(net::Ipv4Addr ip) { client_state(ip); }
 
+  // Publish schedule/burst/drop metrics and timeline spans.  Also forwarded
+  // to the TCP connections of every splice created afterwards.
+  void set_obs(obs::Hook hook);
+
   // -- Introspection ------------------------------------------------------------
   const ProxyStats& stats() const { return stats_; }
   const BandwidthEstimator& estimator() const { return estimator_; }
@@ -183,6 +188,17 @@ class TransparentProxy {
       by_client_flow_;  // key: client -> server
   std::unordered_map<net::FlowKey, Splice*, net::FlowKeyHash>
       by_server_flow_;  // key: server -> client
+
+  obs::Hook obs_;
+  obs::Counter* ctr_schedules_ = nullptr;
+  obs::Counter* ctr_queue_drops_ = nullptr;
+  obs::Counter* ctr_queued_ = nullptr;
+  obs::Counter* ctr_empty_markers_ = nullptr;
+  obs::Histogram* hist_burst_us_ = nullptr;
+  obs::Histogram* hist_burst_bytes_ = nullptr;
+  obs::Histogram* hist_interval_us_ = nullptr;
+  obs::TimeWeightedGauge* twg_queue_depth_ = nullptr;
+  std::uint64_t total_q_bytes_ = 0;  // sum of all clients' pkt_q_bytes
 
   bool running_ = false;
   std::uint64_t schedule_seq_ = 0;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
 namespace pp::transport {
 
 const char* to_string(TcpState s) {
@@ -69,7 +72,10 @@ void TcpConnection::emit(std::uint64_t seq, std::uint32_t len, bool syn,
   pkt.sent_at = sim_.now();
   ++stats_.segments_sent;
   stats_.bytes_sent += len;
-  if (is_rtx) ++stats_.retransmissions;
+  if (is_rtx) {
+    ++stats_.retransmissions;
+    PP_OBS(if (ctr_rtx_) ctr_rtx_->inc());
+  }
 
   // Karn's algorithm: time one un-retransmitted data segment at a time.
   if (!is_rtx && len > 0 && !timing_) {
@@ -178,6 +184,15 @@ void TcpConnection::arm_rtx_timer() {
   rtx_timer_ = sim_.after(rto_, [this] { on_rtx_timeout(); });
 }
 
+void TcpConnection::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_rtx_ = m->counter("tcp.retransmissions");
+    ctr_timeouts_ = m->counter("tcp.timeouts");
+    ctr_fast_rtx_ = m->counter("tcp.fast_retransmits");
+  });
+}
+
 void TcpConnection::cancel_rtx_timer() { rtx_timer_.cancel(); }
 
 void TcpConnection::on_rtx_timeout() {
@@ -187,6 +202,10 @@ void TcpConnection::on_rtx_timeout() {
   if (!syn_out && !fin_out && bytes_in_flight() == 0) return;  // all acked
 
   ++stats_.timeouts;
+  PP_OBS(if (ctr_timeouts_) ctr_timeouts_->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::TcpStall,
+                        remote_.ip.raw(), stats_.timeouts));
   if (timing_) timing_ = false;  // Karn: retransmitted samples are invalid
   if (!syn_out) {
     const std::uint64_t flight = std::max<std::uint64_t>(
@@ -318,6 +337,7 @@ void TcpConnection::process_ack(const net::Packet& pkt) {
                                           std::uint64_t{2} * opts_.mss);
       cwnd_ = ssthresh_ + std::uint64_t{3} * opts_.mss;
       ++stats_.fast_retransmits;
+      PP_OBS(if (ctr_fast_rtx_) ctr_fast_rtx_->inc());
       retransmit_one();
       arm_rtx_timer();
     }

@@ -27,6 +27,7 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/hooks.hpp"
 #include "sim/simulator.hpp"
 
 namespace pp::transport {
@@ -110,6 +111,9 @@ class TcpConnection : public net::SegmentHandler {
   void set_send_gate(bool open);
   bool send_gate() const { return gate_open_; }
   void set_egress_hook(EgressHook h) { egress_hook_ = std::move(h); }
+
+  // Publish retransmission/timeout counters and RTO-stall timeline events.
+  void set_obs(obs::Hook hook);
 
   // -- Introspection -----------------------------------------------------------
   TcpState state() const { return state_; }
@@ -208,6 +212,11 @@ class TcpConnection : public net::SegmentHandler {
   EgressHook egress_hook_;
   TcpStats stats_;
   bool closed_notified_ = false;
+
+  obs::Hook obs_;
+  obs::Counter* ctr_rtx_ = nullptr;
+  obs::Counter* ctr_timeouts_ = nullptr;
+  obs::Counter* ctr_fast_rtx_ = nullptr;
 };
 
 // -- Node conveniences ---------------------------------------------------------

@@ -103,6 +103,55 @@ TEST_F(ProxyFixture, PerClientQueueCapDropsExcess) {
   EXPECT_LE(bed.proxy().buffered_bytes(bed.client_ip(0)), 2000u);
 }
 
+TEST_F(ProxyFixture, QueueDropAccountingMatchesMonitoringStation) {
+  // Every datagram the server sends is either dropped at the proxy's
+  // per-client cap or eventually aired — the monitoring station hears the
+  // latter, so sent == aired + queue_drops once the queue drains.
+  exp::TestbedParams tp;
+  tp.num_clients = 1;
+  tp.wireless.p_loss = 0;  // lossless air so the count is exact
+  tp.proxy.queue_limit_bytes = 2000;
+  exp::Testbed bed{tp, std::make_unique<FixedIntervalScheduler>(Time::sec(1))};
+  net::Node& server = bed.add_server("srv");
+  transport::UdpSocket sock{server, 7000};
+  bed.start(Time::ms(500));
+  constexpr int kSent = 10;
+  bed.sim().at(Time::ms(100), [&] {
+    for (int i = 0; i < kSent; ++i) sock.send_to(bed.client_ip(0), 7100, 500);
+  });
+  bed.run_until(Time::sec(3));
+  ASSERT_EQ(bed.proxy().buffered_bytes(bed.client_ip(0)), 0u);  // drained
+
+  std::uint64_t aired = 0;
+  for (const auto& r : bed.monitor().buffer()) {
+    if (r.proto == net::Protocol::Udp && !r.is_broadcast() &&
+        r.dst_port == 7100) {
+      ++aired;
+    }
+  }
+  const std::uint64_t drops = bed.proxy().stats().queue_drops;
+  EXPECT_GT(drops, 0u);
+  EXPECT_EQ(aired + drops, static_cast<std::uint64_t>(kSent));
+  // 2000-byte cap on 500-byte datagrams: exactly 4 queued, 6 dropped.
+  EXPECT_EQ(drops, 6u);
+
+#if PP_OBS_ENABLED
+  // The metrics registry and the drop timeline agree with ProxyStats.
+  ASSERT_NE(bed.metrics(), nullptr);
+  const auto* ctr = bed.metrics()->find_counter("proxy.queue_drops");
+  ASSERT_NE(ctr, nullptr);
+  EXPECT_EQ(ctr->value(), drops);
+  std::uint64_t drop_events = 0;
+  for (const auto& e : bed.timeline()->events()) {
+    if (e.kind == obs::EventKind::Drop &&
+        e.subject == bed.client_ip(0).raw()) {
+      ++drop_events;
+    }
+  }
+  EXPECT_EQ(drop_events, drops);
+#endif
+}
+
 TEST_F(ProxyFixture, TcpSpliceEstablishesAndTransfers) {
   auto bed = make_bed(1, Time::ms(100));
   net::Node& server = bed->add_server("srv");

@@ -1,9 +1,79 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
+#include "exp/parallel.hpp"
 #include "exp/replicate.hpp"
 
 namespace pp::exp {
 namespace {
+
+TEST(RunParallel, ResultsLandInOrder) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; ++i) tasks.push_back([i] { return i * i; });
+  const auto out = run_parallel(tasks, 4);
+  ASSERT_EQ(out.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(RunParallel, ThrowingTaskRethrowsInCaller) {
+  // Before the fix this escaped the jthread and called std::terminate.
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i]() -> int {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+      return i;
+    });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          run_parallel(tasks, 4);
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task 5 failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(RunParallel, FailureStopsLaunchingQueuedTasks) {
+  // With a single worker the order is deterministic: once task 0 throws,
+  // no later task may start.
+  std::atomic<int> started{0};
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  for (int i = 1; i < 8; ++i) {
+    tasks.push_back([&started] {
+      started.fetch_add(1);
+      return 0;
+    });
+  }
+  EXPECT_THROW(run_parallel(tasks, 1), std::runtime_error);
+  EXPECT_EQ(started.load(), 0);
+}
+
+TEST(RunParallel, FirstErrorWinsWhenAllThrow) {
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i]() -> int {
+      throw std::runtime_error("fail " + std::to_string(i));
+    });
+  }
+  // Whichever task completes (fails) first is reported; with one thread
+  // that is task 0.
+  EXPECT_THROW(
+      {
+        try {
+          run_parallel(tasks, 1);
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "fail 0");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
 
 TEST(ReplicateStats, SummaryOfKnownSamples) {
   const auto s = summarize_samples({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});

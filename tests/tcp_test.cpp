@@ -12,6 +12,15 @@ using sim::Time;
 using test::NodePair;
 
 struct TcpFixture : ::testing::Test {
+  // The node pair must be a fixture member declared before server/client:
+  // their destructors unregister from the nodes, so the nodes have to
+  // outlive them (members destroy in reverse declaration order).
+  NodePair& make(std::uint64_t seed = 7, net::WiredParams params = {},
+                 double p_loss = 0.0) {
+    pair_ = std::make_unique<NodePair>(seed, params, p_loss);
+    return *pair_;
+  }
+
   // Builds a server on B and an active connection from A, returns both.
   void start(NodePair& np, TcpOptions copts = {}, TcpOptions sopts = {}) {
     server = std::make_unique<TcpServer>(np.b, 80, sopts);
@@ -23,6 +32,7 @@ struct TcpFixture : ::testing::Test {
     client->set_on_deliver([this](std::uint64_t n) { client_received += n; });
   }
 
+  std::unique_ptr<NodePair> pair_;
   std::unique_ptr<TcpServer> server;
   std::unique_ptr<TcpConnection> client;
   TcpConnection* accepted = nullptr;
@@ -31,7 +41,7 @@ struct TcpFixture : ::testing::Test {
 };
 
 TEST_F(TcpFixture, ThreeWayHandshake) {
-  NodePair np;
+  auto& np = make();
   start(np);
   np.sim.run();
   ASSERT_NE(accepted, nullptr);
@@ -40,7 +50,7 @@ TEST_F(TcpFixture, ThreeWayHandshake) {
 }
 
 TEST_F(TcpFixture, ClientToServerTransfer) {
-  NodePair np;
+  auto& np = make();
   start(np);
   client->send(100'000);
   np.sim.run();
@@ -49,7 +59,7 @@ TEST_F(TcpFixture, ClientToServerTransfer) {
 }
 
 TEST_F(TcpFixture, ServerToClientTransferAfterAccept) {
-  NodePair np;
+  auto& np = make();
   start(np);
   np.sim.after(Time::ms(50), [&] { accepted->send(250'000); });
   np.sim.run();
@@ -57,7 +67,7 @@ TEST_F(TcpFixture, ServerToClientTransferAfterAccept) {
 }
 
 TEST_F(TcpFixture, BidirectionalTransfer) {
-  NodePair np;
+  auto& np = make();
   start(np);
   client->send(40'000);
   np.sim.after(Time::ms(10), [&] { accepted->send(60'000); });
@@ -67,7 +77,7 @@ TEST_F(TcpFixture, BidirectionalTransfer) {
 }
 
 TEST_F(TcpFixture, CleanCloseBothSides) {
-  NodePair np;
+  auto& np = make();
   start(np);
   bool client_closed = false;
   client->send(10'000);
@@ -84,7 +94,7 @@ TEST_F(TcpFixture, CleanCloseBothSides) {
 }
 
 TEST_F(TcpFixture, TransferSurvivesHeavyLoss) {
-  NodePair np{11, {}, 0.1};  // 10% loss each way
+  auto& np = make(11, {}, 0.1);  // 10% loss each way
   start(np);
   client->send(200'000);
   np.sim.run_until(Time::sec(120));
@@ -93,7 +103,7 @@ TEST_F(TcpFixture, TransferSurvivesHeavyLoss) {
 }
 
 TEST_F(TcpFixture, FastRetransmitTriggersBeforeTimeout) {
-  NodePair np{23, {}, 0.02};
+  auto& np = make(23, {}, 0.02);
   start(np);
   client->send(2'000'000);
   np.sim.run_until(Time::sec(300));
@@ -102,7 +112,7 @@ TEST_F(TcpFixture, FastRetransmitTriggersBeforeTimeout) {
 }
 
 TEST_F(TcpFixture, HandshakeRetriesWhenSynLost) {
-  NodePair np{5};
+  auto& np = make(5);
   np.drop_to_b.set_loss(1.0);  // SYN always lost initially
   start(np);
   np.sim.after(Time::ms(1500), [&] { np.drop_to_b.set_loss(0.0); });
@@ -111,7 +121,7 @@ TEST_F(TcpFixture, HandshakeRetriesWhenSynLost) {
 }
 
 TEST_F(TcpFixture, SendGateHoldsTraffic) {
-  NodePair np;
+  auto& np = make();
   start(np);
   np.sim.run_until(Time::ms(100));  // establish
   accepted->set_send_gate(false);
@@ -124,7 +134,7 @@ TEST_F(TcpFixture, SendGateHoldsTraffic) {
 }
 
 TEST_F(TcpFixture, ManualConsumeThrottlesSender) {
-  NodePair np;
+  auto& np = make();
   TcpOptions sopts;
   sopts.manual_consume = true;
   sopts.recv_window = 32 * 1024;
@@ -152,7 +162,7 @@ TEST_F(TcpFixture, ManualConsumeThrottlesSender) {
 }
 
 TEST_F(TcpFixture, EgressHookSeesEverySegment) {
-  NodePair np;
+  auto& np = make();
   start(np);
   std::uint64_t hook_count = 0;
   client->set_egress_hook([&](net::Packet&) { ++hook_count; });
@@ -164,7 +174,7 @@ TEST_F(TcpFixture, EgressHookSeesEverySegment) {
 TEST_F(TcpFixture, RttEstimateTracksPathDelay) {
   net::WiredParams wp;
   wp.propagation = Time::ms(20);
-  NodePair np{7, wp};
+  auto& np = make(7, wp);
   start(np);
   client->send(500'000);
   np.sim.run();
@@ -173,7 +183,7 @@ TEST_F(TcpFixture, RttEstimateTracksPathDelay) {
 }
 
 TEST_F(TcpFixture, StatsCountBytesAndSegments) {
-  NodePair np;
+  auto& np = make();
   start(np);
   client->send(14'000);  // exactly 10 MSS
   np.sim.run();
@@ -184,7 +194,7 @@ TEST_F(TcpFixture, StatsCountBytesAndSegments) {
 }
 
 TEST_F(TcpFixture, DeferredRetransmissionWaitsForGate) {
-  NodePair np{31};
+  auto& np = make(31);
   TcpOptions sopts;
   sopts.defer_rtx_when_gated = true;
   start(np, {}, sopts);
@@ -207,7 +217,7 @@ TEST_F(TcpFixture, DeferredRetransmissionWaitsForGate) {
 }
 
 TEST_F(TcpFixture, CongestionWindowGrowsFromSlowStart) {
-  NodePair np;
+  auto& np = make();
   start(np);
   const auto initial_cwnd = client->cwnd();
   client->send(500'000);
