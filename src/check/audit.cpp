@@ -1,0 +1,37 @@
+#include "check/audit.hpp"
+
+#include "check/check.hpp"
+
+namespace pp::check {
+
+void Auditor::on_event(const obs::TimelineEvent& e) {
+  ++audited_;
+  PP_CHECK_AT(e.at >= last_at_, "check.auditor.monotonic", e.at);
+  PP_CHECK_AT(e.dur >= sim::Time::zero(), "check.auditor.span", e.at);
+  last_at_ = e.at;
+
+  switch (e.kind) {
+    case obs::EventKind::Sleep: {
+      // Clients boot awake (WNIC idle), so a Sleep is legal as the first
+      // event; two Sleeps without an intervening Wake are not.
+      bool& awake = awake_.emplace(e.subject, true).first->second;
+      PP_CHECK_AT(awake, "check.auditor.sleep_wake", e.at);
+      awake = false;
+      break;
+    }
+    case obs::EventKind::Wake: {
+      bool& awake = awake_.emplace(e.subject, true).first->second;
+      PP_CHECK_AT(!awake, "check.auditor.sleep_wake", e.at);
+      awake = true;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Auditor::finalize(sim::Time horizon) {
+  PP_CHECK_AT(last_at_ <= horizon, "check.auditor.horizon", horizon);
+}
+
+}  // namespace pp::check

@@ -1,0 +1,46 @@
+// Runtime invariant auditor riding the observability stream.
+//
+// The Auditor attaches as the Timeline's sink (obs::TimelineSink), so every
+// instrumented component that records an event is audited for free — no new
+// hooks in the hot paths.  It enforces the cross-component invariants that
+// cannot live inside any single component:
+//
+//   * Timeline monotonicity: events arrive in non-decreasing sim-time order
+//     (the DES contract; a violation means an entity recorded against a
+//     stale clock or the event queue mis-ordered).
+//   * Sleep/wake alternation: a client radio cannot sleep twice without an
+//     intervening wake (and vice versa).  Double transitions corrupt the
+//     energy integral silently.
+//   * Non-negative durations on spans.
+//
+// Per-component conservation invariants (packet conservation in the AP and
+// proxy queues, WNIC energy residency, TCP splice byte conservation, slot
+// non-overlap) live in the components themselves as PP_CHECK audits; the
+// Testbed's finalize_audit() drives them at the end of a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "obs/timeline.hpp"
+#include "sim/time.hpp"
+
+namespace pp::check {
+
+class Auditor : public obs::TimelineSink {
+ public:
+  void on_event(const obs::TimelineEvent& e) override;
+
+  // End-of-run check: the stream never ran past the horizon.
+  void finalize(sim::Time horizon);
+
+  std::uint64_t events_audited() const { return audited_; }
+
+ private:
+  std::uint64_t audited_ = 0;
+  sim::Time last_at_ = sim::Time::zero();
+  // Radio state per client subject; clients boot awake (WNIC idle).
+  std::map<std::uint32_t, bool> awake_;
+};
+
+}  // namespace pp::check

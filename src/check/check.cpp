@@ -1,0 +1,58 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace pp::check {
+
+namespace {
+
+FailureHandler g_handler = nullptr;
+
+}  // namespace
+
+std::string format(const Violation& v) {
+  std::ostringstream os;
+  os << "[PP_CHECK] ";
+  if (v.has_time) {
+    // Render sim time inline (pp::sim's operator<< lives in pp_sim, which
+    // this library must not link against — see CMakeLists.txt).
+    const std::int64_t ns = v.at.count_ns();
+    os << "t=" << static_cast<double>(ns) * 1e-9 << "s ";
+  }
+  os << v.component << ": invariant violated: " << v.expr << " (" << v.file
+     << ":" << v.line << ")";
+  return os.str();
+}
+
+FailureHandler set_failure_handler(FailureHandler h) {
+  FailureHandler prev = g_handler;
+  g_handler = h;
+  return prev;
+}
+
+void throwing_handler(const Violation& v) { throw CheckError(v); }
+
+namespace {
+
+[[noreturn]] void dispatch(const Violation& v) {
+  if (g_handler) g_handler(v);  // may throw instead of returning
+  std::fprintf(stderr, "%s\n", format(v).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void fail(const char* expr, const char* file, int line,
+          const char* component) {
+  dispatch(Violation{expr, file, line, component, false, sim::Time::zero()});
+}
+
+void fail_at(const char* expr, const char* file, int line,
+             const char* component, sim::Time at) {
+  dispatch(Violation{expr, file, line, component, true, at});
+}
+
+}  // namespace pp::check

@@ -1,0 +1,114 @@
+// PP_CHECK: machine-checked invariants with simulation context.
+//
+// Bare assert() is compiled out of the default RelWithDebInfo build, so the
+// invariants it stated were never enforced in the configuration that tier-1
+// actually runs.  PP_CHECK is active in every build unless
+// -DPP_CHECK_DISABLED is given, and a violation reports the simulation time
+// and the component that detected it before aborting — the two facts needed
+// to replay a failure deterministically (the simulator is bit-deterministic,
+// so "seed + sim time" pinpoints the event).
+//
+// Two forms:
+//
+//   PP_CHECK(cond, "sim.rng");               // no clock available
+//   PP_CHECK_AT(cond, "net.access_point", sim_.now());
+//
+// Tests install a throwing handler (ScopedFailureHandler +
+// throwing_handler) so fault-injection scenarios can assert that a
+// deliberately violated invariant trips the right check without spawning
+// death-test subprocesses.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+#if defined(PP_CHECK_DISABLED)
+#define PP_CHECK_ENABLED 0
+#else
+#define PP_CHECK_ENABLED 1
+#endif
+
+namespace pp::check {
+
+// A tripped invariant, as handed to the failure handler.
+struct Violation {
+  const char* expr;       // stringified condition
+  const char* file;
+  int line;
+  const char* component;  // dotted component path, e.g. "proxy.splice"
+  bool has_time;          // false when no simulation clock was in scope
+  sim::Time at;           // sim time of the violation (when has_time)
+};
+
+// One-line human-readable rendering ("[PP_CHECK] t=1.204s proxy.splice ...").
+std::string format(const Violation& v);
+
+// Called on every violation.  The default handler prints format(v) to
+// stderr; if the handler returns, the process aborts.  A test handler may
+// throw instead (see throwing_handler).  Returns the previous handler.
+using FailureHandler = void (*)(const Violation&);
+FailureHandler set_failure_handler(FailureHandler h);
+
+// Exception carrying a formatted violation; thrown by throwing_handler.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const Violation& v) : std::runtime_error(format(v)) {}
+};
+
+// Handler for tests: converts the violation into a CheckError.
+[[noreturn]] void throwing_handler(const Violation& v);
+
+// RAII installation of a failure handler for one scope.
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler h)
+      : prev_{set_failure_handler(h)} {}
+  ~ScopedFailureHandler() { set_failure_handler(prev_); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler prev_;
+};
+
+// Invoked by the macros; calls the handler, then aborts if it returns.
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const char* component);
+[[noreturn]] void fail_at(const char* expr, const char* file, int line,
+                          const char* component, sim::Time at);
+
+}  // namespace pp::check
+
+#if PP_CHECK_ENABLED
+
+#define PP_CHECK(cond, component)                                         \
+  do {                                                                    \
+    if (!(cond)) ::pp::check::fail(#cond, __FILE__, __LINE__, component); \
+  } while (0)
+
+#define PP_CHECK_AT(cond, component, now)                                   \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pp::check::fail_at(#cond, __FILE__, __LINE__, component, now);      \
+  } while (0)
+
+#else  // PP_CHECK_ENABLED
+
+// Disabled: the condition is not evaluated (assert semantics).  sizeof
+// keeps the expression syntactically checked without odr-using anything.
+#define PP_CHECK(cond, component) \
+  do {                            \
+    (void)sizeof(cond);           \
+    (void)(component);            \
+  } while (0)
+
+#define PP_CHECK_AT(cond, component, now) \
+  do {                                    \
+    (void)sizeof(cond);                   \
+    (void)(component);                    \
+    (void)sizeof(now);                    \
+  } while (0)
+
+#endif  // PP_CHECK_ENABLED

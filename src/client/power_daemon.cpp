@@ -1,9 +1,9 @@
 #include "client/power_daemon.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -89,7 +89,8 @@ void PowerDaemon::apply_schedule(
 }
 
 void PowerDaemon::plan_next_step() {
-  assert(cur_ && "plan_next_step requires an applied schedule");
+  // plan_next_step requires an applied schedule
+  PP_CHECK(cur_ != nullptr, "client.power_daemon.plan");
   if (entry_idx_ < my_entries_.size()) {
     const auto& e = my_entries_[entry_idx_];
     const sim::Time t =

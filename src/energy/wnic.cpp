@@ -1,13 +1,28 @@
 #include "energy/wnic.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace pp::energy {
 
 void EnergyAccountant::settle(sim::Time now) {
-  assert(now >= last_change_);
+  PP_CHECK_AT(now >= last_change_, "energy.accountant.settle", now);
   in_mode_[static_cast<std::size_t>(mode_)] += now - last_change_;
   last_change_ = now;
+}
+
+void EnergyAccountant::audit(sim::Time now, const char* component) const {
+  // Energy conservation: every nanosecond between construction and `now`
+  // is attributed to exactly one mode.  Requires finish(now) first so the
+  // open residency interval is settled.
+  // Auditing at a time before the last settled transition would make the
+  // open-interval term below negative and could mask missing residency.
+  PP_CHECK_AT(now >= last_change_, component, now);
+  sim::Duration total = sim::Time::zero();
+  for (const sim::Duration& d : in_mode_) {
+    PP_CHECK_AT(d >= sim::Time::zero(), component, now);
+    total += d;
+  }
+  PP_CHECK_AT(total + (now - last_change_) == now - start_, component, now);
 }
 
 void EnergyAccountant::set_mode(sim::Time now, WnicMode m) {

@@ -48,7 +48,7 @@ class EnergyAccountant {
  public:
   explicit EnergyAccountant(WnicPowerModel model, sim::Time start,
                             WnicMode initial = WnicMode::Idle)
-      : model_{model}, last_change_{start}, mode_{initial} {}
+      : model_{model}, start_{start}, last_change_{start}, mode_{initial} {}
 
   WnicMode mode() const { return mode_; }
 
@@ -78,10 +78,16 @@ class EnergyAccountant {
 
   const WnicPowerModel& model() const { return model_; }
 
+  // Invariant audit (see src/check/): mode residencies partition the
+  // whole [start, now) interval — Σ time_in(mode) == now - start.
+  // `component` names the owning client in the violation report.
+  void audit(sim::Time now, const char* component) const;
+
  private:
   void settle(sim::Time now);
 
   WnicPowerModel model_;
+  sim::Time start_;
   sim::Time last_change_;
   WnicMode mode_;
   std::array<sim::Duration, kNumModes> in_mode_{};

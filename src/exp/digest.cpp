@@ -1,0 +1,56 @@
+#include "exp/digest.hpp"
+
+namespace pp::exp {
+
+namespace {
+
+std::uint64_t fold_string(std::uint64_t h, const std::string& s) {
+  h = fnv1a_u64(h, s.size());
+  for (char c : s) h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t timeline_digest(const obs::Timeline& tl) {
+  std::uint64_t h = kFnvOffset;
+  for (const obs::TimelineEvent& e : tl.events()) {
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(e.at.count_ns()));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(e.dur.count_ns()));
+    h = fnv1a_byte(h, static_cast<std::uint8_t>(e.kind));
+    h = fnv1a_u64(h, e.subject);
+    h = fnv1a_u64(h, e.value);
+  }
+  h = fnv1a_u64(h, tl.size());
+  h = fnv1a_u64(h, tl.dropped());
+  return h;
+}
+
+std::uint64_t metrics_digest(const obs::MetricsRegistry& m) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& [name, ctr] : m.counters()) {
+    h = fold_string(h, name);
+    h = fnv1a_u64(h, ctr.value());
+  }
+  for (const auto& [name, hist] : m.histograms()) {
+    h = fold_string(h, name);
+    h = fnv1a_u64(h, hist.count());
+    h = fnv1a_u64(h, hist.sum());
+  }
+  return h;
+}
+
+std::uint64_t observer_digest(const obs::Observer& o) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, timeline_digest(o.timeline));
+  h = fnv1a_u64(h, metrics_digest(o.metrics));
+  return h;
+}
+
+std::uint64_t run_digest(ScenarioConfig cfg) {
+  cfg.keep_obs = true;
+  const ScenarioResult res = run_scenario(cfg);
+  return res.obs ? observer_digest(*res.obs) : 0;
+}
+
+}  // namespace pp::exp

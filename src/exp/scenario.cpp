@@ -143,6 +143,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   const sim::Time horizon = sim::Time::seconds(cfg.duration_s);
   bed.run_until(horizon);
 
+  bed.finalize_audit(horizon);
   if (auto* m = bed.metrics()) m->finalize(horizon);
 
   ScenarioResult res;

@@ -83,6 +83,7 @@ struct ClientResult {
   // Application-level metrics (role-dependent).
   double app_loss_pct = 0;       // video: sequence-gap loss
   int video_fidelity_final = -1; // video: fidelity after adaptation
+  // pp-lint: allow(naked-duration): derived report statistic, not sim state
   double page_time_ms = 0;       // web: mean page completion time
   int pages_completed = 0;       // web
   double ftp_seconds = 0;        // ftp: transfer duration

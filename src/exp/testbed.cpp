@@ -1,7 +1,8 @@
 #include "exp/testbed.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "check/check.hpp"
 
 namespace pp::exp {
 
@@ -46,6 +47,10 @@ Testbed::Testbed(TestbedParams params,
 #if PP_OBS_ENABLED
   if (params_.observe) {
     observer_ = std::make_shared<obs::Observer>();
+    // Stream every timeline event through the invariant auditor (time
+    // monotonicity, sleep/wake alternation) as it is recorded.
+    auditor_ = std::make_unique<check::Auditor>();
+    observer_->timeline.set_sink(auditor_.get());
     const obs::Hook hook = observer_->hook();
     medium_.set_obs(hook);
     ap_.set_obs(hook);
@@ -76,8 +81,20 @@ std::vector<net::Ipv4Addr> Testbed::client_ips() const {
   return ips;
 }
 
+void Testbed::finalize_audit(sim::Time horizon) {
+  ap_.audit();
+  proxy_->audit();
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    const std::string component =
+        "energy.accountant.client" + std::to_string(i);
+    // Safe to pass c_str(): a violation never returns here (abort/throw).
+    clients_[i]->accountant().audit(sim_.now(), component.c_str());
+  }
+  if (auditor_) auditor_->finalize(horizon);
+}
+
 void Testbed::start(sim::Time first_srp) {
-  assert(!started_);
+  PP_CHECK(!started_, "exp.testbed.start");
   started_ = true;
   proxy_->calibrate(medium_);
   for (const auto& ip : client_ips()) proxy_->register_client(ip);

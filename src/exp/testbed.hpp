@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/audit.hpp"
 #include "client/energy_client.hpp"
 #include "net/access_point.hpp"
 #include "net/link.hpp"
@@ -82,6 +83,15 @@ class Testbed {
 
   void run_until(sim::Time t) { sim_.run_until(t); }
 
+  // Run every component's invariant audit (see src/check/): AP and proxy
+  // packet/byte conservation, per-client energy accounting, and the
+  // streaming timeline auditor's horizon check.  Call at the end of a run;
+  // aborts (or throws under a test handler) on the first violation.
+  void finalize_audit(sim::Time horizon);
+
+  // The streaming timeline auditor (null when not observing).
+  check::Auditor* auditor() { return auditor_.get(); }
+
  private:
   TestbedParams params_;
   sim::Simulator sim_;
@@ -94,6 +104,7 @@ class Testbed {
   std::unique_ptr<net::ChannelSink> ap_uplink_sink_;
   trace::MonitoringStation monitor_;
   std::shared_ptr<obs::Observer> observer_;
+  std::unique_ptr<check::Auditor> auditor_;
   std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;
   std::vector<std::unique_ptr<net::Node>> servers_;
   int next_server_ = 1;

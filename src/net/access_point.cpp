@@ -1,9 +1,10 @@
 #include "net/access_point.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/sorted.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -16,6 +17,7 @@ AccessPoint::AccessPoint(sim::Simulator& sim, WirelessMedium& medium,
 }
 
 void AccessPoint::handle_packet(Packet pkt) {
+  ++downlink_in_;
   // PSM stations' frames are parked until the next beacon indicates them.
   if (psm_enabled_) {
     auto it = psm_queues_.find(pkt.dst);
@@ -60,6 +62,7 @@ void AccessPoint::forward_downlink(Packet pkt) {
     return;
   }
   backlog_bytes_ += pkt.wire_size();
+  ++backlog_packets_;
   PP_OBS(if (twg_backlog_)
              twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_)));
 
@@ -78,8 +81,10 @@ void AccessPoint::forward_downlink(Packet pkt) {
 
   const std::uint32_t wire = pkt.wire_size();
   sim_.at(depart, [this, wire, p = std::move(pkt)]() mutable {
-    assert(backlog_bytes_ >= wire);
+    PP_CHECK_AT(backlog_bytes_ >= wire && backlog_packets_ > 0,
+                "net.access_point.backlog", sim_.now());
     backlog_bytes_ -= wire;
+    --backlog_packets_;
     ++forwarded_;
     PP_OBS(if (ctr_forwarded_) {
       ctr_forwarded_->inc();
@@ -107,16 +112,29 @@ void AccessPoint::register_psm_station(Ipv4Addr ip) {
 
 std::uint64_t AccessPoint::psm_buffered_frames() const {
   std::uint64_t n = 0;
+  // pp-lint: allow(unordered-iter): order-insensitive sum over queue sizes
   for (const auto& [ip, q] : psm_queues_) n += q.size();
   return n;
+}
+
+void AccessPoint::audit() const {
+  // Packet conservation: every downlink frame that ever entered the AP is
+  // accounted for exactly once — forwarded onto the air, dropped at a queue
+  // limit, sitting in the FIFO backlog, or parked in a PSM queue.
+  PP_CHECK_AT(downlink_in_ ==
+                  forwarded_ + dropped_ + backlog_packets_ +
+                      psm_buffered_frames(),
+              "net.access_point.packet_conservation", sim_.now());
 }
 
 void AccessPoint::send_beacon() {
   auto msg = std::make_shared<BeaconMessage>();
   msg->seq_no = ++beacon_seq_;
   msg->beacon_interval = beacon_interval_;
-  for (const auto& [ip, q] : psm_queues_)
-    if (!q.empty()) msg->tim.push_back(ip);
+  // Sorted so the TIM element order (and hence beacon payload size per
+  // station order downstream) never depends on hash-bucket layout.
+  for (const auto* kv : check::sorted_items(psm_queues_))
+    if (!kv->second.empty()) msg->tim.push_back(kv->first);
 
   Packet beacon = make_packet();
   beacon.dst = Ipv4Addr::broadcast();
@@ -134,8 +152,11 @@ void AccessPoint::send_beacon() {
   // for a later beacon.
   const sim::Time polled = medium_.busy_until() + sim::Time::us(200);
   sim_.at(polled, [this] {
-    for (auto& [ip, q] : psm_queues_) {
-      if (q.empty() || !medium_.station_listening(ip)) continue;
+    // Sorted: the flush order decides downlink FIFO order across stations,
+    // which must not depend on hash-bucket layout.
+    for (auto* kv : check::sorted_items(psm_queues_)) {
+      auto& q = kv->second;
+      if (q.empty() || !medium_.station_listening(kv->first)) continue;
       while (!q.empty()) {
         Packet p = std::move(q.front());
         q.pop_front();

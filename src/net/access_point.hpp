@@ -62,6 +62,11 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t beacons_sent() const { return beacons_sent_; }
   std::uint64_t psm_buffered_frames() const;
 
+  // Invariant audit (see src/check/): downlink packet conservation —
+  // in == forwarded + dropped + backlogged + PSM-parked.  Aborts via
+  // PP_CHECK on violation.
+  void audit() const;
+
  private:
   void send_beacon();
   void forward_downlink(Packet pkt);
@@ -73,6 +78,8 @@ class AccessPoint : public PacketSink, public WirelessStation {
   PacketSink* uplink_ = nullptr;
   sim::Time last_departure_ = sim::Time::zero();
   std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t backlog_packets_ = 0;
+  std::uint64_t downlink_in_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t forwarded_ = 0;
 

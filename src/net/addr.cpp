@@ -4,6 +4,13 @@
 
 namespace pp::net {
 
+namespace {
+std::uint64_t g_hash_salt = 0;
+}  // namespace
+
+std::uint64_t hash_salt() { return g_hash_salt; }
+void set_hash_salt(std::uint64_t salt) { g_hash_salt = salt; }
+
 std::string Ipv4Addr::str() const {
   char buf[20];
   std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (raw_ >> 24) & 0xff,

@@ -55,20 +55,37 @@ struct FlowKey {
   std::string str() const;
 };
 
+// Global salt mixed into every unordered-container hash below.  Simulation
+// behaviour must not depend on unordered iteration order, and this is how
+// that contract is enforced: the determinism harness runs each scenario
+// under two different salts — which permute bucket order everywhere — and
+// diffs the resulting timeline digests (see exp::run_digest).  Defaults to
+// 0; tests and tools set it before building any topology.
+std::uint64_t hash_salt();
+void set_hash_salt(std::uint64_t salt);
+
+// splitmix64 finalizer: full-avalanche mix so salting perturbs every bit.
+inline std::uint64_t mix_hash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 struct FlowKeyHash {
   std::size_t operator()(const FlowKey& k) const {
-    std::uint64_t h = k.src.raw();
+    std::uint64_t h = hash_salt() ^ k.src.raw();
     h = h * 0x9e3779b97f4a7c15ULL + k.dst.raw();
     h = h * 0x9e3779b97f4a7c15ULL + (std::uint64_t{k.src_port} << 17);
     h = h * 0x9e3779b97f4a7c15ULL + (std::uint64_t{k.dst_port} << 1);
     h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(k.proto);
-    return static_cast<std::size_t>(h ^ (h >> 32));
+    return static_cast<std::size_t>(mix_hash(h));
   }
 };
 
 struct Ipv4AddrHash {
   std::size_t operator()(const Ipv4Addr& a) const {
-    return std::hash<std::uint32_t>{}(a.raw());
+    return static_cast<std::size_t>(mix_hash(hash_salt() ^ a.raw()));
   }
 };
 

@@ -1,8 +1,9 @@
 #include "net/link.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "check/check.hpp"
 
 namespace pp::net {
 
@@ -29,7 +30,8 @@ bool Channel::transmit(Packet pkt) {
   const std::uint32_t wire = pkt.wire_size();
   sim_.at(done + params_.propagation,
           [this, wire, p = std::move(pkt)]() mutable {
-            assert(backlog_bytes_ >= wire);
+            PP_CHECK_AT(backlog_bytes_ >= wire, "net.channel.backlog",
+                        sim_.now());
             backlog_bytes_ -= wire;
             sink_.handle_packet(std::move(p));
           });

@@ -1,6 +1,5 @@
 #include "net/node.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 

@@ -1,9 +1,9 @@
 #include "net/wireless.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace pp::net {
@@ -51,7 +51,8 @@ sim::Duration WirelessMedium::airtime_of(const Packet& pkt) const {
 }
 
 void WirelessMedium::transmit(StationId sender, Packet pkt) {
-  assert(sender < stations_.size());
+  PP_CHECK_AT(sender < stations_.size(), "net.wireless.sender_id",
+              sim_.now());
   const sim::Duration airtime = airtime_of(pkt);
   const sim::Time start =
       busy_until_ > sim_.now() ? busy_until_ : sim_.now();

@@ -232,6 +232,7 @@ Report read_jsonl(std::istream& is) {
       r.histograms.push_back(std::move(h));
     } else if (type == "event") {
       TimelineEvent e;
+      // pp-lint: allow(naked-duration): wire-format field before parsing
       std::int64_t t_ns = 0, dur_ns = 0;
       std::string kind, subject;
       if (!get_i64(line, "t_ns", t_ns) || !get_i64(line, "dur_ns", dur_ns) ||

@@ -42,6 +42,15 @@ struct TimelineEvent {
   std::uint64_t value = 0;
 };
 
+// Streaming consumer of timeline events, fed synchronously from record()
+// before capacity limits apply (so e.g. the invariant auditor in src/check
+// keeps seeing events after the retained buffer fills up).
+class TimelineSink {
+ public:
+  virtual ~TimelineSink() = default;
+  virtual void on_event(const TimelineEvent& e) = 0;
+};
+
 class Timeline {
  public:
   void record(sim::Time at, EventKind kind, std::uint32_t subject = 0,
@@ -50,12 +59,17 @@ class Timeline {
   }
   void span(sim::Time at, sim::Duration dur, EventKind kind,
             std::uint32_t subject = 0, std::uint64_t value = 0) {
+    const TimelineEvent ev{at, dur, kind, subject, value};
+    if (sink_) sink_->on_event(ev);
     if (events_.size() >= capacity_) {
       ++dropped_;
       return;
     }
-    events_.push_back(TimelineEvent{at, dur, kind, subject, value});
+    events_.push_back(ev);
   }
+
+  // At most one sink; nullptr detaches.
+  void set_sink(TimelineSink* sink) { sink_ = sink; }
 
   const std::vector<TimelineEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -68,6 +82,7 @@ class Timeline {
   std::vector<TimelineEvent> events_;
   std::size_t capacity_ = 1u << 22;  // ~4M events ≈ 130 MB worst case
   std::uint64_t dropped_ = 0;
+  TimelineSink* sink_ = nullptr;
 };
 
 }  // namespace pp::obs

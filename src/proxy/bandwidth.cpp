@@ -1,12 +1,13 @@
 #include "proxy/bandwidth.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace pp::proxy {
 
 void BandwidthEstimator::fit(const std::vector<Sample>& samples) {
-  assert(samples.size() >= 2);
+  PP_CHECK(samples.size() >= 2, "proxy.bandwidth.fit");
   // Ordinary least squares on (x = payload, y = seconds).
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   const double n = static_cast<double>(samples.size());
@@ -18,7 +19,7 @@ void BandwidthEstimator::fit(const std::vector<Sample>& samples) {
     sxy += x * s.seconds;
   }
   const double denom = n * sxx - sx * sx;
-  assert(std::abs(denom) > 1e-12);
+  PP_CHECK(std::abs(denom) > 1e-12, "proxy.bandwidth.fit");
   b_ = (n * sxy - sx * sy) / denom;
   a_ = (sy - b_ * sx) / n;
   if (a_ < 0) a_ = 0;
@@ -30,7 +31,7 @@ sim::Duration BandwidthEstimator::bulk_cost(std::uint64_t bytes,
                                             std::uint32_t mtu,
                                             std::uint32_t ack_bytes) const {
   if (bytes == 0) return sim::Time::zero();
-  assert(mtu > 0);
+  PP_CHECK(mtu > 0, "proxy.bandwidth.bulk_cost");
   const std::uint64_t full = bytes / mtu;
   const std::uint32_t tail = static_cast<std::uint32_t>(bytes % mtu);
   double secs = static_cast<double>(full) *

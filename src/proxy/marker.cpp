@@ -1,6 +1,6 @@
 #include "proxy/marker.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace pp::proxy {
 
@@ -20,7 +20,8 @@ void BurstMarker::on_egress(net::Packet& pkt) {
   const std::uint64_t data_end = (pkt.tcp.seq - 1) + pkt.payload;
   if (data_end <= q_) return;  // retransmission: Q does not advance
   q_ = data_end;
-  assert(q_ <= s_ && "IPQ thread cannot send bytes never written");
+  // The IPQ thread cannot send bytes never written.
+  PP_CHECK(q_ <= s_, "proxy.marker.bytes_sent");
   if (armed_ && q_ >= m_ && !expect_fin_) {
     pkt.marked = true;
     disarm();

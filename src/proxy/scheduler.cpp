@@ -1,7 +1,8 @@
 #include "proxy/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "check/check.hpp"
 
 namespace pp::proxy {
 namespace {
@@ -88,7 +89,7 @@ BuiltSchedule VariableIntervalScheduler::build(
 BuiltSchedule StaticScheduler::build(const std::vector<ClientDemand>&,
                                      const BandwidthEstimator&) {
   // Permanent equal slots, independent of demand.
-  assert(!clients_.empty());
+  PP_CHECK(!clients_.empty(), "proxy.static_scheduler.clients");
   const sim::Duration available = interval_ - sp_.lead;
   const sim::Duration each =
       available / static_cast<std::int64_t>(clients_.size());
@@ -108,7 +109,8 @@ SlottedStaticScheduler::SlottedStaticScheduler(
       udp_clients_{std::move(udp_clients)},
       tcp_clients_{std::move(tcp_clients)},
       sp_{sp} {
-  assert(tcp_weight_ > 0 && tcp_weight_ < 1);
+  PP_CHECK(tcp_weight_ > 0 && tcp_weight_ < 1,
+           "proxy.slotted_scheduler.tcp_weight");
 }
 
 BuiltSchedule SlottedStaticScheduler::build(const std::vector<ClientDemand>&,

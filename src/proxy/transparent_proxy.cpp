@@ -1,10 +1,11 @@
 #include "proxy/transparent_proxy.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/sorted.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -210,7 +211,7 @@ TransparentProxy::Splice& TransparentProxy::create_splice(
   client_state(syn.src).splices.push_back(sp);
   ++stats_.splices_created;
   auto [it, ok] = by_client_flow_.emplace(sp->key, std::move(splice));
-  assert(ok);
+  PP_CHECK_AT(ok, "proxy.splice.duplicate_flow", sim_.now());
   sp->server_side->connect();
   return *it->second;
 }
@@ -227,9 +228,10 @@ void TransparentProxy::maybe_finish_splice(Splice& s) {
 
 void TransparentProxy::reap_splices() {
   std::vector<net::FlowKey> done;
-  for (auto& [key, sp] : by_client_flow_) {
-    if (sp->client_side->done() && sp->server_side->done())
-      done.push_back(key);
+  // Sorted scan: stats and erase order must not follow hash-bucket layout.
+  for (const auto* kv : check::sorted_items(by_client_flow_)) {
+    if (kv->second->client_side->done() && kv->second->server_side->done())
+      done.push_back(kv->first);
   }
   for (const auto& key : done) {
     auto it = by_client_flow_.find(key);
@@ -239,6 +241,34 @@ void TransparentProxy::reap_splices() {
     std::erase(vec, sp);
     by_client_flow_.erase(it);
     ++stats_.splices_closed;
+  }
+}
+
+void TransparentProxy::audit() const {
+  // Datagram conservation: every packet ever queued was either bursted or
+  // is still sitting in a per-client queue (drops are counted before the
+  // queue, so they do not enter the identity).
+  std::uint64_t residual_pkts = 0;
+  std::uint64_t residual_bytes = 0;
+  // pp-lint: allow(unordered-iter): order-insensitive sums
+  for (const auto& [ip, cs] : clients_) {
+    residual_pkts += cs->pkt_q.size();
+    residual_bytes += cs->pkt_q_bytes;
+  }
+  PP_CHECK_AT(stats_.queued_packets == stats_.burst_packets + residual_pkts,
+              "proxy.queue.packet_conservation", sim_.now());
+  PP_CHECK_AT(total_q_bytes_ == residual_bytes,
+              "proxy.queue.byte_conservation", sim_.now());
+
+  // Splice byte conservation: every in-order byte the server side handed
+  // up is either still awaiting a burst or has been submitted to the
+  // client-side socket.  Sorted so a violation always reports the same
+  // splice first.
+  for (const auto* kv : check::sorted_items(by_client_flow_)) {
+    const Splice& s = *kv->second;
+    PP_CHECK_AT(s.server_side->stats().bytes_delivered ==
+                    s.buffered + s.client_side->bytes_submitted(),
+                "proxy.splice.byte_conservation", sim_.now());
   }
 }
 
@@ -266,6 +296,22 @@ void TransparentProxy::schedule_tick() {
   }
 
   BuiltSchedule built = scheduler_->build(demands, estimator_);
+
+  // Slot non-overlap invariant: no two bursts of one interval may share
+  // channel time, or clients would sleep through each other's data.
+  // TcpOnly slots are exempt among themselves — the static TCP schedule
+  // deliberately gives all TCP clients one shared listening slot.
+  for (std::size_t i = 0; i < built.entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < built.entries.size(); ++j) {
+      const ScheduleEntry& a = built.entries[i];
+      const ScheduleEntry& b = built.entries[j];
+      if (a.kind == SlotKind::TcpOnly && b.kind == SlotKind::TcpOnly)
+        continue;
+      PP_CHECK_AT(a.rp_offset + a.duration <= b.rp_offset ||
+                      b.rp_offset + b.duration <= a.rp_offset,
+                  "proxy.schedule.slot_overlap", sim_.now());
+    }
+  }
 
   auto msg = std::make_shared<ScheduleMessage>();
   msg->seq_no = ++schedule_seq_;
@@ -328,6 +374,7 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
       cs.pkt_q.pop_front();
       cs.pkt_q_bytes -= raw.back().payload;
       total_q_bytes_ -= raw.back().payload;
+      ++stats_.burst_packets;
     }
     PP_OBS(if (twg_queue_depth_ && !raw.empty())
                twg_queue_depth_->set(sim_.now(),

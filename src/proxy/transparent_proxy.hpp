@@ -68,6 +68,7 @@ struct ProxyStats {
   std::uint64_t schedules_sent = 0;
   std::uint64_t bursts_opened = 0;
   std::uint64_t queued_packets = 0;
+  std::uint64_t burst_packets = 0;  // raw packets released from the queue
   std::uint64_t queue_drops = 0;
   std::uint64_t udp_bytes_burst = 0;
   std::uint64_t tcp_bytes_burst = 0;
@@ -120,6 +121,10 @@ class TransparentProxy {
   const BandwidthEstimator& estimator() const { return estimator_; }
   std::uint64_t buffered_bytes(net::Ipv4Addr client) const;
   std::size_t splice_count() const { return by_client_flow_.size(); }
+  // Invariant audit (see src/check/): datagram-queue packet/byte
+  // conservation and per-splice byte conservation.  Aborts via PP_CHECK
+  // on violation.
+  void audit() const;
   const ScheduleMessage* last_schedule() const { return last_schedule_.get(); }
 
  private:

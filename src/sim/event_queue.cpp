@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "check/check.hpp"
 
 namespace pp::sim {
 
@@ -22,7 +23,7 @@ Time EventQueue::next_time() {
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
-  assert(!heap_.empty());
+  PP_CHECK(!heap_.empty(), "sim.event_queue.pop_empty");
   // priority_queue::top() is const; move out via const_cast on the handle —
   // safe because we pop immediately and never touch the moved-from entry.
   Entry& top = const_cast<Entry&>(heap_.top());

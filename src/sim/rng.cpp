@@ -1,8 +1,9 @@
 #include "sim/rng.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "check/check.hpp"
 
 namespace pp::sim {
 namespace {
@@ -44,7 +45,7 @@ double Rng::uniform() {
 double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  PP_CHECK(lo <= hi, "sim.rng.uniform_int");
   const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
   // Modulo bias is negligible for spans << 2^64 used here.
@@ -54,7 +55,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 bool Rng::chance(double p) { return uniform() < p; }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0);
+  PP_CHECK(mean > 0, "sim.rng.exponential");
   double u;
   do {
     u = uniform();
@@ -74,7 +75,7 @@ double Rng::normal(double mean, double stddev) {
 }
 
 double Rng::pareto(double alpha, double lo, double hi) {
-  assert(alpha > 0 && lo > 0 && hi > lo);
+  PP_CHECK(alpha > 0 && lo > 0 && hi > lo, "sim.rng.pareto");
   const double u = uniform();
   const double la = std::pow(lo, alpha);
   const double ha = std::pow(hi, alpha);

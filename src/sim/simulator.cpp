@@ -1,11 +1,11 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
+#include "check/check.hpp"
 
 namespace pp::sim {
 
 EventHandle Simulator::at(Time when, EventFn fn) {
-  assert(when >= now_ && "cannot schedule into the past");
+  PP_CHECK_AT(when >= now_, "sim.simulator.schedule_into_past", now_);
   return queue_.push(when, std::move(fn));
 }
 
@@ -13,6 +13,7 @@ void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && queue_.next_time() != Time::max()) {
     auto [when, fn] = queue_.pop();
+    PP_CHECK_AT(when >= now_, "sim.simulator.monotonic_clock", now_);
     now_ = when;
     ++events_fired_;
     fn();
@@ -23,6 +24,7 @@ void Simulator::run_until(Time until) {
   stopped_ = false;
   while (!stopped_ && queue_.next_time() <= until) {
     auto [when, fn] = queue_.pop();
+    PP_CHECK_AT(when >= now_, "sim.simulator.monotonic_clock", now_);
     now_ = when;
     ++events_fired_;
     fn();

@@ -1,9 +1,9 @@
 #include "transport/tcp.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 
@@ -93,7 +93,7 @@ void TcpConnection::send_ack() {
 }
 
 void TcpConnection::connect() {
-  assert(state_ == TcpState::Closed);
+  PP_CHECK_AT(state_ == TcpState::Closed, "transport.tcp.connect", sim_.now());
   state_ = TcpState::SynSent;
   emit(0, 0, /*syn=*/true, false, false);
   arm_rtx_timer();
@@ -110,8 +110,8 @@ void TcpConnection::close() {
 }
 
 void TcpConnection::consume(std::uint64_t bytes) {
-  assert(opts_.manual_consume);
-  assert(bytes <= unconsumed_);
+  PP_CHECK_AT(opts_.manual_consume, "transport.tcp.consume", sim_.now());
+  PP_CHECK_AT(bytes <= unconsumed_, "transport.tcp.consume", sim_.now());
   const std::uint32_t before = advertised_window();
   unconsumed_ -= bytes;
   // Window update: tell a potentially stalled sender that space opened up.
@@ -362,6 +362,14 @@ void TcpConnection::process_data(const net::Packet& pkt) {
       rcv_nxt_data_ = std::max(rcv_nxt_data_, it->second);
       it = ooo_.erase(it);
     }
+    // Sequence continuity: the cumulative point only moves forward, and
+    // every surviving out-of-order run stays strictly beyond it (a run at
+    // or below rcv_nxt_data_ means the merge loop lost bytes or delivered
+    // some twice — fatal for a proxy splicing two sequence spaces).
+    PP_CHECK_AT(rcv_nxt_data_ >= stats_.bytes_delivered,
+                "transport.tcp.seq_continuity", sim_.now());
+    PP_CHECK_AT(ooo_.empty() || ooo_.begin()->first > rcv_nxt_data_,
+                "transport.tcp.seq_continuity", sim_.now());
     const std::uint64_t delivered = rcv_nxt_data_ - stats_.bytes_delivered;
     stats_.bytes_delivered = rcv_nxt_data_;
     if (opts_.manual_consume) unconsumed_ += delivered;
@@ -387,6 +395,9 @@ void TcpConnection::process_data(const net::Packet& pkt) {
       }
     }
   }
+  // The receive stream never runs past the remote FIN.
+  PP_CHECK_AT(!fin_received_ || rcv_nxt_data_ <= fin_seq_data_,
+              "transport.tcp.fin_overrun", sim_.now());
   send_ack();
 }
 

@@ -123,6 +123,8 @@ class TcpConnection : public net::SegmentHandler {
   Endpoint remote() const { return remote_; }
   // Stream bytes queued by the app but not yet transmitted the first time.
   std::uint64_t bytes_unsent() const { return app_limit_ - snd_nxt_data_; }
+  // Total bytes the app has ever queued via send() (sent or not).
+  std::uint64_t bytes_submitted() const { return app_limit_; }
   // close() requested but the FIN has not gone out yet (e.g. gated).
   bool close_pending() const { return fin_pending_ && !fin_sent_; }
   // FIN sent but not yet acknowledged (it may need a retransmission slot).

@@ -1,9 +1,10 @@
 #include "workload/video.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "check/check.hpp"
 
 namespace pp::workload {
 
@@ -78,7 +79,8 @@ VideoServer::VideoServer(net::Node& node, VideoServerParams params)
 }
 
 const VideoPacketTrace& VideoServer::trace_for(int fidelity_idx) {
-  assert(fidelity_idx >= 0 && fidelity_idx < kNumFidelities);
+  PP_CHECK(fidelity_idx >= 0 && fidelity_idx < kNumFidelities,
+           "workload.video.fidelity_index");
   auto& t = traces_[fidelity_idx];
   if (t.empty()) {
     t = generate_video_trace(kFidelities[fidelity_idx].effective_kbps,

@@ -1,7 +1,6 @@
 #include "workload/web.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace pp::workload {
 

@@ -1,0 +1,220 @@
+// Fault-injection tests for the invariant checkers in src/check/.
+//
+// Each test installs a throwing failure handler (so a tripped PP_CHECK
+// raises check::CheckError instead of aborting), then deliberately breaks
+// one invariant and asserts that exactly the right checker fires.  No
+// death tests: the handler mechanism keeps everything in-process.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/check.hpp"
+#include "check/sorted.hpp"
+#include "energy/wnic.hpp"
+#include "obs/timeline.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+
+namespace pp::check {
+namespace {
+
+using sim::Time;
+
+struct CheckFixture : ::testing::Test {
+  ScopedFailureHandler scoped{throwing_handler};
+};
+
+// -- PP_CHECK core ---------------------------------------------------------------
+
+TEST_F(CheckFixture, PassingCheckIsSilent) {
+  PP_CHECK(1 + 1 == 2, "test.core");
+  PP_CHECK_AT(true, "test.core", Time::ms(5));
+}
+
+TEST_F(CheckFixture, FailingCheckThrowsWithContext) {
+  try {
+    PP_CHECK(1 == 2, "test.component");
+    FAIL() << "PP_CHECK did not fire";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test.component"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckFixture, FailingCheckAtReportsSimTime) {
+  try {
+    PP_CHECK_AT(false, "test.timed", Time::ms(1500));
+    FAIL() << "PP_CHECK_AT did not fire";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("t=1.5"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckHandlerTest, ScopedHandlerRestoresPrevious) {
+  {
+    ScopedFailureHandler outer{throwing_handler};
+    { ScopedFailureHandler inner{nullptr}; }
+    // outer's handler must be back in force.
+    EXPECT_THROW(PP_CHECK(false, "test.scope"), CheckError);
+  }
+}
+
+// -- Simulator invariants --------------------------------------------------------
+
+TEST_F(CheckFixture, SchedulingIntoThePastTrips) {
+  sim::Simulator sim{1};
+  sim.at(Time::ms(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(Time::ms(5), [] {}), CheckError);
+}
+
+// -- Timeline auditor ------------------------------------------------------------
+
+TEST_F(CheckFixture, AuditorAcceptsMonotoneEvents) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  tl.record(Time::ms(1), obs::EventKind::ScheduleBroadcast);
+  tl.record(Time::ms(1), obs::EventKind::Drop, 7);
+  tl.span(Time::ms(2), Time::ms(3), obs::EventKind::Burst, 7, 100);
+  a.finalize(Time::ms(10));
+  EXPECT_EQ(a.events_audited(), 3u);
+}
+
+TEST_F(CheckFixture, AuditorRejectsTimeRegression) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  tl.record(Time::ms(5), obs::EventKind::ScheduleBroadcast);
+  EXPECT_THROW(tl.record(Time::ms(4), obs::EventKind::Drop), CheckError);
+}
+
+TEST_F(CheckFixture, AuditorRejectsNegativeSpan) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  EXPECT_THROW(
+      tl.span(Time::ms(5), Time::ms(1) - Time::ms(2), obs::EventKind::Burst),
+      CheckError);
+}
+
+TEST_F(CheckFixture, AuditorRejectsDoubleSleep) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  tl.record(Time::ms(1), obs::EventKind::Sleep, 42);
+  tl.record(Time::ms(2), obs::EventKind::Wake, 42);
+  tl.record(Time::ms(3), obs::EventKind::Sleep, 42);
+  EXPECT_THROW(tl.record(Time::ms(4), obs::EventKind::Sleep, 42),
+               CheckError);
+}
+
+TEST_F(CheckFixture, AuditorRejectsWakeWhileAwake) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  // Clients boot awake: an initial Wake is a violation.
+  EXPECT_THROW(tl.record(Time::ms(1), obs::EventKind::Wake, 42), CheckError);
+}
+
+TEST_F(CheckFixture, AuditorRejectsEventsBeyondHorizon) {
+  Auditor a;
+  obs::Timeline tl;
+  tl.set_sink(&a);
+  tl.record(Time::ms(500), obs::EventKind::Drop);
+  EXPECT_THROW(a.finalize(Time::ms(400)), CheckError);
+}
+
+// -- Energy accounting -----------------------------------------------------------
+
+TEST_F(CheckFixture, EnergyAuditPassesOnConsistentTimeline) {
+  energy::EnergyAccountant acc{energy::WnicPowerModel::wavelan(),
+                               Time::ms(100)};
+  acc.set_mode(Time::ms(200), energy::WnicMode::Sleep);
+  acc.set_mode(Time::ms(300), energy::WnicMode::Receive);
+  acc.finish(Time::ms(450));
+  acc.audit(Time::ms(450), "test.energy");
+  EXPECT_EQ(acc.time_in(energy::WnicMode::Sleep), Time::ms(100));
+}
+
+TEST_F(CheckFixture, EnergyAuditCatchesUnaccountedTime) {
+  energy::EnergyAccountant acc{energy::WnicPowerModel::wavelan(),
+                               Time::ms(100)};
+  acc.set_mode(Time::ms(200), energy::WnicMode::Sleep);
+  acc.finish(Time::ms(300));
+  // Auditing against a *different* end time than the one settled must
+  // expose the hole in the accounting.
+  EXPECT_THROW(acc.audit(Time::ms(250), "test.energy"), CheckError);
+}
+
+TEST_F(CheckFixture, EnergySettleRejectsTimeRegression) {
+  energy::EnergyAccountant acc{energy::WnicPowerModel::wavelan(),
+                               Time::ms(100)};
+  acc.set_mode(Time::ms(200), energy::WnicMode::Sleep);
+  EXPECT_THROW(acc.set_mode(Time::ms(150), energy::WnicMode::Idle),
+               CheckError);
+}
+
+// -- TCP sequence continuity -----------------------------------------------------
+
+TEST_F(CheckFixture, TcpConsumeBeyondDeliveredTrips) {
+  sim::Simulator sim{1};
+  transport::TcpOptions opts;
+  opts.manual_consume = true;
+  transport::TcpConnection conn{
+      sim,           [](net::Packet) {},
+      {net::Ipv4Addr::octets(10, 0, 0, 1), 80},
+      {net::Ipv4Addr::octets(10, 0, 0, 2), 999},
+      opts,          /*passive=*/true};
+  EXPECT_THROW(conn.consume(1), CheckError);
+}
+
+TEST_F(CheckFixture, TcpConsumeWithoutManualModeTrips) {
+  sim::Simulator sim{1};
+  transport::TcpConnection conn{
+      sim,  [](net::Packet) {},
+      {net::Ipv4Addr::octets(10, 0, 0, 1), 80},
+      {net::Ipv4Addr::octets(10, 0, 0, 2), 999},
+      {},   /*passive=*/true};
+  EXPECT_THROW(conn.consume(0), CheckError);
+}
+
+TEST_F(CheckFixture, TcpDoubleConnectTrips) {
+  sim::Simulator sim{1};
+  transport::TcpConnection conn{
+      sim, [](net::Packet) {},
+      {net::Ipv4Addr::octets(10, 0, 0, 1), 80},
+      {net::Ipv4Addr::octets(10, 0, 0, 2), 999},
+      {},  /*passive=*/false};
+  conn.connect();
+  EXPECT_THROW(conn.connect(), CheckError);
+}
+
+// -- sorted_items / sorted_keys --------------------------------------------------
+
+TEST(SortedTest, ItemsSortedByKeyAndMutable) {
+  std::unordered_map<int, std::string> m{{3, "c"}, {1, "a"}, {2, "b"}};
+  std::vector<int> keys;
+  for (auto* kv : sorted_items(m)) {
+    keys.push_back(kv->first);
+    kv->second += "!";
+  }
+  EXPECT_EQ(keys, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(m.at(2), "b!");
+}
+
+TEST(SortedTest, KeysSortedForMapAndSet) {
+  std::unordered_map<int, int> m{{5, 0}, {4, 0}, {9, 0}};
+  EXPECT_EQ(sorted_keys(m), (std::vector<int>{4, 5, 9}));
+  std::unordered_set<int> s{7, 2, 11};
+  EXPECT_EQ(sorted_keys(s), (std::vector<int>{2, 7, 11}));
+}
+
+}  // namespace
+}  // namespace pp::check

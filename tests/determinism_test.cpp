@@ -1,0 +1,155 @@
+// Determinism harness tests: replay digests must be identical across runs
+// and across unordered-container hash salts, and must be sensitive to any
+// real divergence in what the simulation did.
+//
+// The CTest target digest_double_run exercises the same property across
+// processes (two pp_digest invocations with different PP_HASH_SEED); these
+// tests run the double-run in-process so a regression points directly at
+// the scenario runner rather than the harness plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "exp/digest.hpp"
+#include "exp/scenario.hpp"
+#include "net/addr.hpp"
+#include "obs/hooks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace pp::exp {
+namespace {
+
+using sim::Time;
+
+// Restores the process-wide hash salt on scope exit so tests compose.
+struct ScopedHashSalt {
+  explicit ScopedHashSalt(std::uint64_t salt) : prev_(net::hash_salt()) {
+    net::set_hash_salt(salt);
+  }
+  ~ScopedHashSalt() { net::set_hash_salt(prev_); }
+
+ private:
+  std::uint64_t prev_;
+};
+
+// A short mixed scenario: video + web + ftp touches every subsystem the
+// digest folds (schedules, bursts, PSM, TCP splices) in ~seconds of sim
+// time.
+ScenarioConfig short_mixed_config() {
+  ScenarioConfig cfg;
+  cfg.roles = {1, kRoleWeb, kRoleFtp};
+  cfg.policy = IntervalPolicy::Variable;
+  cfg.duration_s = 12.0;
+  cfg.web_pages = 3;
+  cfg.ftp_bytes = 200'000;
+  return cfg;
+}
+
+// -- Digest primitives -------------------------------------------------------------
+
+TEST(DigestTest, TimelineDigestIsValueSensitive) {
+  obs::Timeline a;
+  obs::Timeline b;
+  a.record(Time::ms(1), obs::EventKind::Drop, /*subject=*/1, /*value=*/10);
+  b.record(Time::ms(1), obs::EventKind::Drop, /*subject=*/1, /*value=*/11);
+  EXPECT_NE(timeline_digest(a), timeline_digest(b));
+  EXPECT_EQ(timeline_digest(a), timeline_digest(a));
+}
+
+TEST(DigestTest, TimelineDigestIsOrderSensitive) {
+  obs::Timeline a;
+  obs::Timeline b;
+  a.record(Time::ms(1), obs::EventKind::Sleep, 1);
+  a.record(Time::ms(1), obs::EventKind::Sleep, 2);
+  b.record(Time::ms(1), obs::EventKind::Sleep, 2);
+  b.record(Time::ms(1), obs::EventKind::Sleep, 1);
+  EXPECT_NE(timeline_digest(a), timeline_digest(b));
+}
+
+TEST(DigestTest, TimelineDigestIsTimeSensitive) {
+  obs::Timeline a;
+  obs::Timeline b;
+  a.record(Time::ms(1), obs::EventKind::Wake, 1);
+  b.record(Time::ms(2), obs::EventKind::Wake, 1);
+  EXPECT_NE(timeline_digest(a), timeline_digest(b));
+}
+
+TEST(DigestTest, MetricsDigestIsSensitiveToCountersAndHistograms) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  const std::uint64_t empty = metrics_digest(a);
+  a.counter("pkts")->inc(3);
+  b.counter("pkts")->inc(4);
+  EXPECT_NE(metrics_digest(a), empty);
+  EXPECT_NE(metrics_digest(a), metrics_digest(b));
+  a.counter("pkts")->inc();
+  EXPECT_EQ(metrics_digest(a), metrics_digest(b));
+  a.histogram("lat")->observe(5);
+  EXPECT_NE(metrics_digest(a), metrics_digest(b));
+}
+
+// -- Hash-salt plumbing ------------------------------------------------------------
+
+TEST(HashSaltTest, SaltActuallyChangesBucketHashes) {
+  const net::FlowKey k{net::Ipv4Addr::octets(10, 0, 0, 1), 4000,
+                       net::Ipv4Addr::octets(10, 0, 0, 2), 80,
+                       net::Protocol::Tcp};
+  ScopedHashSalt s1{1};
+  const std::size_t h1 = net::FlowKeyHash{}(k);
+  const std::size_t a1 = net::Ipv4AddrHash{}(k.src);
+  net::set_hash_salt(99991);
+  EXPECT_NE(net::FlowKeyHash{}(k), h1);
+  EXPECT_NE(net::Ipv4AddrHash{}(k.src), a1);
+}
+
+TEST(HashSaltTest, ScopedSaltRestores) {
+  const std::uint64_t before = net::hash_salt();
+  { ScopedHashSalt s{12345}; EXPECT_EQ(net::hash_salt(), 12345u); }
+  EXPECT_EQ(net::hash_salt(), before);
+}
+
+// -- End-to-end determinism --------------------------------------------------------
+
+#if PP_OBS_ENABLED
+
+TEST(DeterminismTest, SameConfigSameSaltSameDigest) {
+  const ScenarioConfig cfg = short_mixed_config();
+  ScopedHashSalt s{1};
+  const std::uint64_t d1 = run_digest(cfg);
+  const std::uint64_t d2 = run_digest(cfg);
+  EXPECT_NE(d1, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+// The tentpole property: bucket iteration order must never leak into
+// simulation behaviour, so permuting every unordered container's layout
+// via the hash salt must leave the replay digest untouched.
+TEST(DeterminismTest, DigestInvariantUnderHashSalt) {
+  const ScenarioConfig cfg = short_mixed_config();
+  std::uint64_t d1 = 0;
+  std::uint64_t d2 = 0;
+  {
+    ScopedHashSalt s{1};
+    d1 = run_digest(cfg);
+  }
+  {
+    ScopedHashSalt s{99991};
+    d2 = run_digest(cfg);
+  }
+  EXPECT_NE(d1, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(DeterminismTest, DigestIsSensitiveToConfig) {
+  ScopedHashSalt s{1};
+  ScenarioConfig a = short_mixed_config();
+  ScenarioConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(run_digest(a), run_digest(b));
+}
+
+#endif  // PP_OBS_ENABLED
+
+}  // namespace
+}  // namespace pp::exp

@@ -1,0 +1,30 @@
+# Runs pp_digest under two different hash salts and fails unless the
+# replay digests are identical (see src/exp/digest.hpp).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PP_HASH_SEED=1 ${PP_DIGEST}
+  OUTPUT_FILE ${WORK_DIR}/digest_seed1.txt
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "pp_digest failed under PP_HASH_SEED=1 (rc=${rc1})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PP_HASH_SEED=99991 ${PP_DIGEST}
+  OUTPUT_FILE ${WORK_DIR}/digest_seed2.txt
+  RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "pp_digest failed under PP_HASH_SEED=99991 (rc=${rc2})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/digest_seed1.txt ${WORK_DIR}/digest_seed2.txt
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  file(READ ${WORK_DIR}/digest_seed1.txt a)
+  file(READ ${WORK_DIR}/digest_seed2.txt b)
+  message(FATAL_ERROR "replay digests diverge across hash salts — some "
+          "code path depends on unordered iteration order.\n"
+          "seed 1:\n${a}\nseed 99991:\n${b}")
+endif()
+message(STATUS "digests identical across hash salts")
