@@ -25,6 +25,20 @@ void Auditor::on_event(const obs::TimelineEvent& e) {
       awake = true;
       break;
     }
+    case obs::EventKind::FaultStart: {
+      const std::uint64_t key = (e.value << 32) | e.subject;
+      ++fault_depth_[key];
+      break;
+    }
+    case obs::EventKind::FaultEnd: {
+      const std::uint64_t key = (e.value << 32) | e.subject;
+      auto it = fault_depth_.find(key);
+      PP_CHECK_AT(it != fault_depth_.end() && it->second > 0,
+                  "check.auditor.fault_pairing", e.at);
+      if (it != fault_depth_.end() && --it->second == 0)
+        fault_depth_.erase(it);
+      break;
+    }
     default:
       break;
   }
@@ -32,6 +46,8 @@ void Auditor::on_event(const obs::TimelineEvent& e) {
 
 void Auditor::finalize(sim::Time horizon) {
   PP_CHECK_AT(last_at_ <= horizon, "check.auditor.horizon", horizon);
+  // Every fault window recovered before the end of the run.
+  PP_CHECK_AT(fault_depth_.empty(), "check.auditor.fault_open", horizon);
 }
 
 }  // namespace pp::check

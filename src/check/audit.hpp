@@ -12,6 +12,10 @@
 //     intervening wake (and vice versa).  Double transitions corrupt the
 //     energy integral silently.
 //   * Non-negative durations on spans.
+//   * Fault pairing: every FaultStart has a matching FaultEnd with the same
+//     (subject, kind-value) before end of run — an outage window that never
+//     recovers would leave frozen queues that silently defeat the
+//     conservation audits.  Overlapping windows of the same key nest.
 //
 // Per-component conservation invariants (packet conservation in the AP and
 // proxy queues, WNIC energy residency, TCP splice byte conservation, slot
@@ -41,6 +45,8 @@ class Auditor : public obs::TimelineSink {
   sim::Time last_at_ = sim::Time::zero();
   // Radio state per client subject; clients boot awake (WNIC idle).
   std::map<std::uint32_t, bool> awake_;
+  // Open fault-window depth keyed by (kind-value << 32) | subject.
+  std::map<std::uint64_t, int> fault_depth_;
 };
 
 }  // namespace pp::check

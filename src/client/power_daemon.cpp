@@ -11,7 +11,11 @@ namespace pp::client {
 
 PowerDaemon::PowerDaemon(sim::Simulator& sim, net::Ipv4Addr self,
                          DaemonConfig cfg, WnicFn wnic)
-    : sim_{sim}, self_{self}, cfg_{cfg}, wnic_{std::move(wnic)} {}
+    : sim_{sim},
+      self_{self},
+      cfg_{cfg},
+      wnic_{std::move(wnic)},
+      cur_grace_{cfg.schedule_grace} {}
 
 PowerDaemon::~PowerDaemon() {
   wake_timer_.cancel();
@@ -34,9 +38,11 @@ void PowerDaemon::start() {
 void PowerDaemon::set_obs(obs::Hook hook, std::uint32_t subject) {
   (void)hook;
   (void)subject;
-  PP_OBS(obs_ = hook; obs_subject_ = subject;
-         if (auto* m = obs_.metrics())
-             ctr_sched_missed_ = m->counter("client.schedules_missed"));
+  PP_OBS(obs_ = hook; obs_subject_ = subject; if (auto* m = obs_.metrics()) {
+    ctr_sched_missed_ = m->counter("client.schedules_missed");
+    ctr_resyncs_ = m->counter("client.resyncs");
+    hist_outage_us_ = m->histogram("client.outage_us");
+  });
 }
 
 void PowerDaemon::settle_first_wait() {
@@ -45,36 +51,62 @@ void PowerDaemon::settle_first_wait() {
   stats_.early_wait += sim_.now() - wake_started_;
 }
 
+void PowerDaemon::note_resync() {
+  if (consecutive_misses_ == 0) return;
+  ++stats_.resyncs;
+  PP_OBS(if (ctr_resyncs_) ctr_resyncs_->inc();
+         if (hist_outage_us_) hist_outage_us_->observe(static_cast<
+             std::uint64_t>((sim_.now() - first_miss_at_).count_us()));
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::Resync, obs_subject_,
+                        consecutive_misses_));
+  consecutive_misses_ = 0;
+  cur_grace_ = cfg_.schedule_grace;
+}
+
 void PowerDaemon::on_schedule(
     std::shared_ptr<const proxy::ScheduleMessage> msg) {
+  // k-repeat hardening copies carry the original's seq_no: a schedule we
+  // already hold (applied or deferred) is a duplicate and must not disturb
+  // the state machine.
+  if ((cur_ && msg->seq_no <= cur_->seq_no) ||
+      (pending_ && msg->seq_no <= pending_->seq_no)) {
+    ++stats_.repeats_deduped;
+    return;
+  }
   ++stats_.schedules_received;
   grace_timer_.cancel();
   if (miss_active_) {
     miss_active_ = false;
     stats_.missed_wait += sim_.now() - miss_start_;
   }
+  note_resync();
   if (state_ == State::AwaitingSchedule) settle_first_wait();
 
+  // A repeated copy anchors delay compensation on where the original would
+  // have arrived, not on its own (lagged) arrival.
+  const sim::Time arrival = sim_.now() - msg->repeat_offset;
   if (state_ == State::Receiving) {
     // A burst is still in progress.  Rule (1) of Section 3.2.2: defer the
     // new schedule until the marked packet — unless one is already
     // deferred, which means the mark was dropped; then this second
     // schedule forcibly ends the burst.
     if (pending_) {
-      apply_schedule(std::move(msg), sim_.now());
+      apply_schedule(std::move(msg), arrival);
     } else {
       pending_ = std::move(msg);
-      pending_arrival_ = sim_.now();
+      pending_arrival_ = arrival;
     }
     return;
   }
-  apply_schedule(std::move(msg), sim_.now());
+  apply_schedule(std::move(msg), arrival);
 }
 
 void PowerDaemon::apply_schedule(
     std::shared_ptr<const proxy::ScheduleMessage> msg, sim::Time arrival) {
   pending_.reset();
   slot_timer_.cancel();
+  blind_coasts_ = 0;  // anchored on a real broadcast again
   cur_ = std::move(msg);
   anchor_ = arrival;
   my_entries_.clear();
@@ -148,7 +180,7 @@ void PowerDaemon::begin_wait(State next, std::size_t entry_idx) {
     // We woke `early` before the expected arrival; the grace window runs
     // from that expected arrival.
     const sim::Time expected = sim_.now() + cfg_.comp.early;
-    grace_timer_ = sim_.at(expected + cfg_.schedule_grace,
+    grace_timer_ = sim_.at(expected + cur_grace_,
                            [this] { on_schedule_grace_expired(); });
     return;
   }
@@ -199,8 +231,18 @@ void PowerDaemon::end_burst(bool via_mark) {
     // We missed the schedule that announced this burst but caught the data
     // anyway.  Sleep until the *next* schedule, estimating its SRP one
     // interval past the one we missed (Section 4.3, worst-case discussion).
+    if (blind_coasts_ >= cfg_.max_blind_coasts) {
+      // The streak of estimate-only re-anchors is long enough that the
+      // anchor itself is suspect — keep the outage open and stay awake
+      // until a real broadcast re-anchors us.
+      ++stats_.coast_breaks;
+      state_ = State::AwaitingSchedule;
+      return;
+    }
+    ++blind_coasts_;
     miss_active_ = false;
     stats_.missed_wait += sim_.now() - miss_start_;
+    note_resync();
     anchor_ += cur_->interval;
     my_entries_.clear();
     entry_idx_ = 0;
@@ -214,6 +256,13 @@ void PowerDaemon::end_burst(bool via_mark) {
 void PowerDaemon::on_schedule_grace_expired() {
   if (state_ != State::AwaitingSchedule) return;
   ++stats_.schedules_missed;
+  ++consecutive_misses_;
+  if (consecutive_misses_ == 1) {
+    ++stats_.first_misses;
+    first_miss_at_ = sim_.now();
+  } else {
+    ++stats_.repeat_misses;
+  }
   PP_OBS(if (ctr_sched_missed_) ctr_sched_missed_->inc();
          if (auto* tl = obs_.timeline())
              tl->record(sim_.now(), obs::EventKind::ScheduleMissed,
@@ -224,10 +273,39 @@ void PowerDaemon::on_schedule_grace_expired() {
     waiting_first_ = false;
     stats_.early_wait += cfg_.comp.early;
   }
-  miss_active_ = true;
-  miss_start_ = sim_.now();
-  // Remain awake; the next schedule (or our burst's marked packet, if the
-  // data still flows) resynchronizes us.
+  if (!miss_active_) {
+    miss_active_ = true;
+    miss_start_ = sim_.now();
+  }
+  if (!cfg_.escalation.enabled || !cur_) {
+    // Paper behavior (Section 4.3, worst-case client): remain awake; the
+    // next schedule (or our burst's marked packet, if the data still
+    // flows) resynchronizes us.
+    return;
+  }
+  // Escalation: estimate where the SRP we just gave up on was expected
+  // (this timer fired `cur_grace_` past it), widen the grace window for
+  // the next attempt, then decide whether to wait out the interval awake
+  // or sleep through to the next SRP.
+  const sim::Time expected = sim_.now() - cur_grace_;
+  const sim::Time next_expected = expected + cur_->interval;
+  const sim::Duration widened =
+      sim::Time::seconds(cur_grace_.to_seconds() * cfg_.escalation.backoff);
+  cur_grace_ = std::min(widened, cfg_.escalation.max_grace);
+  if (consecutive_misses_ <=
+      static_cast<std::uint64_t>(cfg_.escalation.awake_misses)) {
+    // Early in the outage: stay awake (our burst may still arrive) and
+    // re-arm the grace timer on the next expected SRP.
+    grace_timer_ = sim_.at(next_expected + cur_grace_,
+                           [this] { on_schedule_grace_expired(); });
+    return;
+  }
+  // Deep outage: burning a whole interval awake buys nothing — settle the
+  // missed-wait accrual and sleep until just before the next expected SRP.
+  ++stats_.escalated_sleeps;
+  miss_active_ = false;
+  stats_.missed_wait += sim_.now() - miss_start_;
+  sleep_until(next_expected - cfg_.comp.early, State::AwaitingSchedule, 0);
 }
 
 void PowerDaemon::on_slot_end() {

@@ -53,6 +53,27 @@ struct DaemonConfig {
   // segments pass the proxy ungated — are not missed.  Data responses ride
   // scheduled bursts, so only a couple of wired round trips are needed.
   sim::Duration activity_hold = sim::Time::ms(50);
+  // Missed-schedule escalation (graceful degradation under bursty loss).
+  // Disabled by default, preserving the paper's worst-case behavior: stay
+  // awake until the next SRP.  When enabled, each consecutive miss widens
+  // the grace window by `backoff` (capped at max_grace), and after
+  // `awake_misses` consecutive misses the daemon stops burning the whole
+  // interval awake and instead sleeps between SRP wake attempts.
+  struct MissEscalation {
+    bool enabled = false;
+    int awake_misses = 1;    // misses tolerated before sleeping through
+    double backoff = 2.0;    // grace multiplier per consecutive miss
+    sim::Duration max_grace = sim::Time::ms(240);
+  };
+  MissEscalation escalation{};
+  // When a schedule is missed but its burst data arrives anyway, the daemon
+  // re-anchors by estimate alone (`anchor_ += interval`) and sleeps — a
+  // "blind coast".  A stale anchor (e.g. one poisoned by a queue-delayed
+  // schedule released after an AP stall) can make every coast wake late
+  // enough to sleep through the next broadcast *and* its k-repeat copies,
+  // coasting desynchronized forever.  After this many consecutive coasts
+  // without hearing a real broadcast, stay awake for one to re-anchor.
+  int max_blind_coasts = 2;
 };
 
 struct DaemonStats {
@@ -63,6 +84,15 @@ struct DaemonStats {
   std::uint64_t sleeps = 0;
   std::uint64_t data_packets = 0;
   std::uint64_t forced_wakes = 0;
+  // Degradation bookkeeping: a "first miss" opens an outage, further
+  // consecutive misses deepen it, and the next received schedule closes it
+  // (a resync).  Deduped k-repeat copies never touch the outage state.
+  std::uint64_t first_misses = 0;
+  std::uint64_t repeat_misses = 0;
+  std::uint64_t escalated_sleeps = 0;  // intervals slept through in outage
+  std::uint64_t resyncs = 0;
+  std::uint64_t repeats_deduped = 0;
+  std::uint64_t coast_breaks = 0;  // blind-coast streaks cut short
   // Awake time spent waiting for the first packet after a wake (the "early
   // transition" waste of Figure 6) and awake time caused by missed
   // schedules (its "MissedSched" component).
@@ -120,6 +150,7 @@ class PowerDaemon {
   void on_slot_end();
   void maybe_resleep();
   void settle_first_wait();
+  void note_resync();
   void set_wnic(bool awake);
 
   sim::Simulator& sim_;
@@ -152,9 +183,19 @@ class PowerDaemon {
   bool miss_active_ = false;
   sim::Time miss_start_;
 
+  // Outage state (escalation policy): consecutive misses since the last
+  // received schedule, the current (possibly widened) grace window, and
+  // when the outage opened.
+  std::uint64_t consecutive_misses_ = 0;
+  sim::Duration cur_grace_;
+  sim::Time first_miss_at_;
+  int blind_coasts_ = 0;  // consecutive estimate-only re-anchors
+
   obs::Hook obs_;
   std::uint32_t obs_subject_ = 0;
   obs::Counter* ctr_sched_missed_ = nullptr;
+  obs::Counter* ctr_resyncs_ = nullptr;
+  obs::Histogram* hist_outage_us_ = nullptr;
 
   DaemonStats stats_;
 };

@@ -77,8 +77,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       cfg.policy == IntervalPolicy::SlottedStatic500;
   tp.client.daemon.honor_reuse = cfg.honor_reuse;
   tp.client.naive = cfg.naive_clients;
+  tp.client.daemon.escalation.enabled = cfg.miss_escalation;
   tp.proxy.mode = cfg.proxy_mode;
   tp.proxy.cost_model_scale = cfg.cost_model_scale;
+  tp.proxy.schedule_repeats = cfg.schedule_repeats;
+  tp.proxy.repeat_spacing = cfg.schedule_repeat_spacing;
+  tp.fault = cfg.fault;
 
   Testbed bed{tp, make_scheduler(cfg)};
 
@@ -151,6 +155,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   res.proxy_stats = bed.proxy().stats();
   res.ap_drops = bed.access_point().downlink_dropped();
   res.frames_on_air = bed.medium().frames_sent();
+  if (auto* fp = bed.fault_plan()) res.fault_stats = fp->stats();
   for (std::size_t i = 0; i < cfg.roles.size(); ++i) {
     auto& cl = bed.client(static_cast<int>(i));
     ClientResult r;
@@ -166,6 +171,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     r.schedules_received = cl.daemon_stats().schedules_received;
     r.schedules_missed = cl.daemon_stats().schedules_missed;
     r.sleeps = cl.daemon_stats().sleeps;
+    r.first_misses = cl.daemon_stats().first_misses;
+    r.repeat_misses = cl.daemon_stats().repeat_misses;
+    r.escalated_sleeps = cl.daemon_stats().escalated_sleeps;
+    r.resyncs = cl.daemon_stats().resyncs;
+    r.repeats_deduped = cl.daemon_stats().repeats_deduped;
+    r.coast_breaks = cl.daemon_stats().coast_breaks;
     if (auto* v = video_by_client[i]) {
       r.app_loss_pct = 100.0 * v->loss_fraction();
       r.video_fidelity_final = v->stats().fidelity_seen;

@@ -14,6 +14,7 @@
 
 #include "client/power_daemon.hpp"
 #include "exp/testbed.hpp"
+#include "fault/spec.hpp"
 #include "proxy/transparent_proxy.hpp"
 #include "trace/record.hpp"
 
@@ -65,6 +66,14 @@ struct ScenarioConfig {
   std::optional<net::WirelessParams> wireless;
   std::optional<net::AccessPointParams> ap;
   bool video_adaptive = true;  // RealServer loss adaptation on/off
+  // -- Fault injection & graceful degradation (see src/fault/) -------------------
+  // Gilbert–Elliott channel and typed fault windows; empty = no faults.
+  fault::FaultSpec fault{};
+  // Proxy schedule hardening: SRP broadcast transmissions per interval.
+  int schedule_repeats = 1;
+  sim::Duration schedule_repeat_spacing = sim::Time::ms(3);
+  // Client-side missed-schedule escalation (bounded grace backoff).
+  bool miss_escalation = false;
 };
 
 struct ClientResult {
@@ -80,6 +89,13 @@ struct ClientResult {
   std::uint64_t schedules_received = 0;
   std::uint64_t schedules_missed = 0;
   std::uint64_t sleeps = 0;
+  // Degradation counters (see client::DaemonStats).
+  std::uint64_t first_misses = 0;
+  std::uint64_t repeat_misses = 0;
+  std::uint64_t escalated_sleeps = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t repeats_deduped = 0;
+  std::uint64_t coast_breaks = 0;
   // Application-level metrics (role-dependent).
   double app_loss_pct = 0;       // video: sequence-gap loss
   int video_fidelity_final = -1; // video: fidelity after adaptation
@@ -97,6 +113,8 @@ struct ScenarioResult {
   trace::TraceBuffer trace;  // populated when keep_trace
   std::uint64_t ap_drops = 0;
   std::uint64_t frames_on_air = 0;
+  // Fault-layer stats (zeroed when cfg.fault is empty).
+  fault::FaultStats fault_stats{};
   // Populated when keep_obs: the full metrics registry (time gauges already
   // finalized at `horizon`) and event timeline from the run.
   std::shared_ptr<obs::Observer> obs;

@@ -36,6 +36,23 @@ Testbed::Testbed(TestbedParams params,
       proxy_ap_link_->b_to_a());
   ap_.set_uplink_sink(*ap_uplink_sink_);
 
+  // Fault plan: wired to every faultable component; windows arm at start().
+  if (params_.fault.any()) {
+    fault_ = std::make_unique<fault::FaultPlan>(sim_, params_.fault,
+                                                params_.seed);
+    fault_->attach_medium(medium_);
+    fault_->attach_access_point(ap_);
+    fault_->attach_wired_link(proxy_ap_link_->a_to_b(),
+                              proxy_ap_link_->b_to_a());
+    fault_->set_proxy_pause([this](bool paused) {
+      if (paused) {
+        proxy_->pause();
+      } else {
+        proxy_->resume();
+      }
+    });
+  }
+
   // Clients.
   clients_.reserve(params_.num_clients);
   for (int i = 0; i < params_.num_clients; ++i) {
@@ -55,6 +72,7 @@ Testbed::Testbed(TestbedParams params,
     medium_.set_obs(hook);
     ap_.set_obs(hook);
     proxy_->set_obs(hook);
+    if (fault_) fault_->set_obs(hook);
     for (auto& c : clients_) c->set_obs(hook);
   }
 #endif
@@ -98,6 +116,7 @@ void Testbed::start(sim::Time first_srp) {
   started_ = true;
   proxy_->calibrate(medium_);
   for (const auto& ip : client_ips()) proxy_->register_client(ip);
+  if (fault_) fault_->arm();
   proxy_->start(first_srp);
   for (auto& c : clients_) c->start();
 }

@@ -18,6 +18,7 @@
 
 #include "check/audit.hpp"
 #include "client/energy_client.hpp"
+#include "fault/plan.hpp"
 #include "net/access_point.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
@@ -39,6 +40,10 @@ struct TestbedParams {
   net::AccessPointParams ap{};
   client::ClientParams client{};
   proxy::ProxyParams proxy{};
+  // Fault-injection plan (see src/fault/).  When any() is true a FaultPlan
+  // is constructed from the run seed and wired to the medium, AP, the
+  // proxy <-> AP link, and the proxy's pause control; arm() runs at start().
+  fault::FaultSpec fault{};
   // Attach a MetricsRegistry + Timeline to every component.  Disable to
   // run with all instrumentation hooks detached (near-zero overhead; see
   // bench/micro_obs_overhead.cpp for the compile-time-off path).
@@ -91,6 +96,8 @@ class Testbed {
 
   // The streaming timeline auditor (null when not observing).
   check::Auditor* auditor() { return auditor_.get(); }
+  // The fault plan (null when params.fault is empty).
+  fault::FaultPlan* fault_plan() { return fault_.get(); }
 
  private:
   TestbedParams params_;
@@ -103,6 +110,7 @@ class Testbed {
   std::unique_ptr<net::PointToPointLink> proxy_ap_link_;
   std::unique_ptr<net::ChannelSink> ap_uplink_sink_;
   trace::MonitoringStation monitor_;
+  std::unique_ptr<fault::FaultPlan> fault_;
   std::shared_ptr<obs::Observer> observer_;
   std::unique_ptr<check::Auditor> auditor_;
   std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;

@@ -1,0 +1,168 @@
+#include "fault/plan.hpp"
+
+#include <utility>
+
+#include "check/check.hpp"
+#include "net/access_point.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace pp::fault {
+
+namespace {
+
+// Stream tag folded into the run seed so fault draws are independent of the
+// simulator's shared stream (and of any future named stream with its own
+// tag).  Changing this constant changes every faulted run.
+constexpr std::uint64_t kFaultStreamTag = 0xFA011E57'0DD5EEDEULL;
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::DeepFade:
+      return "deep_fade";
+    case FaultKind::ApStall:
+      return "ap_stall";
+    case FaultKind::LinkFlap:
+      return "link_flap";
+    case FaultKind::ProxyPause:
+      return "proxy_pause";
+  }
+  return "?";
+}
+
+sim::Rng fault_stream(std::uint64_t run_seed) {
+  return sim::Rng{run_seed ^ kFaultStreamTag};
+}
+
+FaultPlan::FaultPlan(sim::Simulator& sim, FaultSpec spec,
+                     std::uint64_t run_seed)
+    : sim_{sim}, spec_{std::move(spec)}, rng_{fault_stream(run_seed)} {}
+
+void FaultPlan::attach_medium(net::WirelessMedium& medium) {
+  base_p_loss_ = medium.params().p_loss;
+  medium.set_loss_model(this);
+}
+
+void FaultPlan::attach_wired_link(net::Channel& downlink,
+                                  net::Channel& uplink) {
+  link_down_ = &downlink;
+  link_up_ = &uplink;
+}
+
+void FaultPlan::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_activated_ = m->counter("fault.windows_activated");
+    ctr_recovered_ = m->counter("fault.windows_recovered");
+    ctr_ge_losses_ = m->counter("fault.ge_losses");
+    ctr_fade_losses_ = m->counter("fault.fade_losses");
+    hist_window_us_ = m->histogram("fault.window_us");
+  });
+}
+
+void FaultPlan::arm() {
+  for (std::size_t i = 0; i < spec_.windows.size(); ++i) {
+    const FaultWindow& w = spec_.windows[i];
+    PP_CHECK(w.duration > sim::Time::zero(), "fault.window.duration");
+    sim_.at(w.start, [this, i] { activate(spec_.windows[i]); });
+    sim_.at(w.end(), [this, i] { recover(spec_.windows[i]); });
+  }
+}
+
+void FaultPlan::activate(const FaultWindow& w) {
+  ++stats_.windows_activated;
+  const int depth = ++depth_[w.kind];
+  if (depth == 1) apply(w, true);
+  PP_OBS(if (ctr_activated_) ctr_activated_->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::FaultStart, w.client.raw(),
+                        static_cast<std::uint64_t>(w.kind)));
+}
+
+void FaultPlan::recover(const FaultWindow& w) {
+  ++stats_.windows_recovered;
+  auto it = depth_.find(w.kind);
+  PP_CHECK_AT(it != depth_.end() && it->second > 0, "fault.window.pairing",
+              sim_.now());
+  if (--it->second == 0) {
+    depth_.erase(it);
+    apply(w, false);
+  }
+  PP_OBS(if (ctr_recovered_) ctr_recovered_->inc();
+         if (hist_window_us_) hist_window_us_->observe(
+             static_cast<std::uint64_t>(w.duration.count_us()));
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::FaultEnd, w.client.raw(),
+                        static_cast<std::uint64_t>(w.kind)));
+}
+
+void FaultPlan::apply(const FaultWindow& w, bool on) {
+  switch (w.kind) {
+    case FaultKind::DeepFade:
+      // No component effect: corrupted() consults the open windows.
+      break;
+    case FaultKind::ApStall:
+      if (ap_ != nullptr) ap_->set_stalled(on);
+      break;
+    case FaultKind::LinkFlap:
+      if (link_down_ != nullptr) link_down_->set_down(on);
+      if (link_up_ != nullptr) link_up_->set_down(on);
+      break;
+    case FaultKind::ProxyPause:
+      if (proxy_pause_) proxy_pause_(on);
+      break;
+  }
+}
+
+bool FaultPlan::active(FaultKind kind) const {
+  auto it = depth_.find(kind);
+  return it != depth_.end() && it->second > 0;
+}
+
+bool FaultPlan::corrupted(const net::Packet& pkt, net::Ipv4Addr receiver,
+                          sim::Time now) {
+  // The wireless channel belongs to the (client, AP) pair: downlink frames
+  // carry the client as receiver; uplink frames reach the AP radio (address
+  // 0.0.0.0), so the transmitting client identifies the channel.
+  const net::Ipv4Addr chan = receiver.raw() != 0 ? receiver : pkt.src;
+
+  // Deep fades dominate: total loss on the faded channel, no RNG consumed,
+  // so fade windows never perturb the draw sequence of other channels.
+  for (const auto& w : spec_.windows) {
+    if (w.kind != FaultKind::DeepFade) continue;
+    if (w.client == chan && now >= w.start && now < w.end()) {
+      ++stats_.fade_losses;
+      PP_OBS(if (ctr_fade_losses_) ctr_fade_losses_->inc());
+      return true;
+    }
+  }
+
+  if (spec_.ge.enabled) {
+    GeState& st = ge_[chan.raw()];
+    // Advance the chain one step per delivery attempt, then draw loss from
+    // the state's own probability.
+    if (st.bad) {
+      if (rng_.chance(spec_.ge.p_bad_good)) st.bad = false;
+    } else if (rng_.chance(spec_.ge.p_good_bad)) {
+      st.bad = true;
+      ++stats_.ge_bad_entries;
+    }
+    const double p = st.bad ? spec_.ge.loss_bad : spec_.ge.loss_good;
+    if (p > 0 && rng_.chance(p)) {
+      ++stats_.ge_losses;
+      PP_OBS(if (ctr_ge_losses_) ctr_ge_losses_->inc());
+      return true;
+    }
+    return false;
+  }
+
+  if (base_p_loss_ > 0 && rng_.chance(base_p_loss_)) {
+    ++stats_.base_losses;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pp::fault

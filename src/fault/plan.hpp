@@ -1,0 +1,118 @@
+// FaultPlan: the runtime half of the fault-injection layer.
+//
+// Constructed from a FaultSpec plus the run seed, a FaultPlan
+//
+//  * implements net::ChannelLossModel, replacing the medium's uniform
+//    per-frame corruption with Gilbert-Elliott correlated loss plus
+//    per-client deep-fade windows (falling back to the medium's configured
+//    p_loss when the GE chain is disabled);
+//  * schedules every fault window on the simulator, applying and reverting
+//    the component effect (AP stall, link flap, proxy pause) at the window
+//    edges and recording FaultStart/FaultEnd timeline events that the
+//    check::Auditor pairs up;
+//  * draws every random number from its own named RNG stream, derived
+//    deterministically from the run seed -- never from the simulator's
+//    shared stream -- so a faulted run stays a pure function of its config
+//    and replay digests keep holding under different hash salts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "fault/spec.hpp"
+#include "net/link.hpp"
+#include "net/wireless.hpp"
+#include "obs/hooks.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::net {
+class AccessPoint;
+}  // namespace pp::net
+
+namespace pp::fault {
+
+struct FaultStats {
+  std::uint64_t windows_activated = 0;
+  std::uint64_t windows_recovered = 0;
+  std::uint64_t ge_losses = 0;       // frames corrupted by the GE chain
+  std::uint64_t fade_losses = 0;     // frames killed by a deep-fade window
+  std::uint64_t base_losses = 0;     // uniform fallback corruption
+  std::uint64_t ge_bad_entries = 0;  // transitions into the bad state
+};
+
+class FaultPlan : public net::ChannelLossModel {
+ public:
+  FaultPlan(sim::Simulator& sim, FaultSpec spec, std::uint64_t run_seed);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // -- Wiring (all optional; unwired effects are skipped) -------------------------
+  // Registers this plan as the medium's loss model and adopts the medium's
+  // p_loss as the fallback corruption probability when GE is disabled.
+  void attach_medium(net::WirelessMedium& medium);
+  void attach_access_point(net::AccessPoint& ap) { ap_ = &ap; }
+  // Both directions of the proxy <-> AP wired link (flapped together).
+  void attach_wired_link(net::Channel& downlink, net::Channel& uplink);
+  // Called with true on ProxyPause activation, false on recovery.
+  void set_proxy_pause(std::function<void(bool paused)> fn) {
+    proxy_pause_ = std::move(fn);
+  }
+
+  // Publish fault counters and FaultStart/FaultEnd timeline events.
+  void set_obs(obs::Hook hook);
+
+  // Schedule every window on the simulator.  Call once, before running.
+  void arm();
+
+  // net::ChannelLossModel: one call per (frame, receiver) delivery attempt.
+  bool corrupted(const net::Packet& pkt, net::Ipv4Addr receiver,
+                 sim::Time now) override;
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultSpec& spec() const { return spec_; }
+  // True while any window of `kind` is open (diagnostics / tests).
+  bool active(FaultKind kind) const;
+
+ private:
+  struct GeState {
+    bool bad = false;
+  };
+
+  void activate(const FaultWindow& w);
+  void recover(const FaultWindow& w);
+  void apply(const FaultWindow& w, bool on);
+
+  sim::Simulator& sim_;
+  FaultSpec spec_;
+  sim::Rng rng_;  // named stream: fault draws only, never sim_.rng()
+  double base_p_loss_ = 0.0;
+
+  net::AccessPoint* ap_ = nullptr;
+  net::Channel* link_down_ = nullptr;
+  net::Channel* link_up_ = nullptr;
+  std::function<void(bool)> proxy_pause_;
+
+  // Per-channel GE chain state, keyed by the client-side station address
+  // (ordered map: lookup paths must not depend on hash-bucket layout).
+  std::map<std::uint32_t, GeState> ge_;
+  // Open-window depth per kind, so overlapping windows of one kind nest.
+  std::map<FaultKind, int> depth_;
+
+  FaultStats stats_;
+  obs::Hook obs_;
+  obs::Counter* ctr_activated_ = nullptr;
+  obs::Counter* ctr_recovered_ = nullptr;
+  obs::Counter* ctr_ge_losses_ = nullptr;
+  obs::Counter* ctr_fade_losses_ = nullptr;
+  obs::Histogram* hist_window_us_ = nullptr;
+};
+
+// The named fault RNG stream: an independent generator derived from the run
+// seed and a fixed stream tag.  Exposed so tests can prove fault draws
+// reproduce without constructing a plan.
+sim::Rng fault_stream(std::uint64_t run_seed);
+
+}  // namespace pp::fault

@@ -1,0 +1,83 @@
+// Fault specifications: the declarative half of the fault-injection layer.
+//
+// A FaultSpec describes everything that can go wrong during a run, as pure
+// data: a Gilbert-Elliott two-state channel model (correlated/bursty frame
+// corruption, the pathology uniform `p_loss` cannot express) and a list of
+// typed fault windows (per-client deep fades, access-point forwarding
+// stalls, wired link flaps, proxy pause/resume).  The spec lives in
+// configuration structs (exp::ScenarioConfig, exp::TestbedParams); the
+// runtime half that schedules and applies it is fault::FaultPlan.
+//
+// Deliberately light on dependencies (addresses and times only) so that
+// config-level code can embed a spec without pulling in the network stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace pp::fault {
+
+// Two-state Markov channel (Gilbert-Elliott).  The chain advances one step
+// per delivery attempt on the affected station's channel; each state
+// corrupts frames with its own probability.  Mean sojourn in a state is
+// 1/p_exit attempts, so small transition probabilities model fades that
+// span many frames -- the correlated-loss behaviour of real WLANs.
+struct GilbertElliottParams {
+  bool enabled = false;
+  double p_good_bad = 0.005;  // per-attempt transition into the bad state
+  double p_bad_good = 0.02;   // per-attempt transition back to good
+  double loss_good = 0.001;   // corruption probability in the good state
+  double loss_bad = 0.85;     // corruption probability in the bad state
+};
+
+// What a fault window does while it is open.
+enum class FaultKind : std::uint8_t {
+  DeepFade = 1,    // total loss on one client's channel (both directions)
+  ApStall = 2,     // access point freezes downlink forwarding (queue holds)
+  LinkFlap = 3,    // proxy <-> AP wired link drops everything
+  ProxyPause = 4,  // proxy scheduling loop pauses (queues preserved)
+};
+
+const char* to_string(FaultKind k);
+
+// A closed interval of misbehaviour: [start, start + duration).  Windows
+// must close before the run's horizon -- the check::Auditor verifies every
+// activation has a matching recovery by end of run.
+struct FaultWindow {
+  FaultKind kind = FaultKind::DeepFade;
+  net::Ipv4Addr client{};  // DeepFade only; default (0.0.0.0) elsewhere
+  sim::Time start;
+  sim::Duration duration;
+
+  sim::Time end() const { return start + duration; }
+};
+
+struct FaultSpec {
+  GilbertElliottParams ge{};
+  std::vector<FaultWindow> windows;
+
+  bool any() const { return ge.enabled || !windows.empty(); }
+
+  // -- Convenience builders -------------------------------------------------------
+  FaultSpec& fade(net::Ipv4Addr client, sim::Time start, sim::Duration dur) {
+    windows.push_back({FaultKind::DeepFade, client, start, dur});
+    return *this;
+  }
+  FaultSpec& ap_stall(sim::Time start, sim::Duration dur) {
+    windows.push_back({FaultKind::ApStall, net::Ipv4Addr{}, start, dur});
+    return *this;
+  }
+  FaultSpec& link_flap(sim::Time start, sim::Duration dur) {
+    windows.push_back({FaultKind::LinkFlap, net::Ipv4Addr{}, start, dur});
+    return *this;
+  }
+  FaultSpec& proxy_pause(sim::Time start, sim::Duration dur) {
+    windows.push_back({FaultKind::ProxyPause, net::Ipv4Addr{}, start, dur});
+    return *this;
+  }
+};
+
+}  // namespace pp::fault

@@ -65,7 +65,26 @@ void AccessPoint::forward_downlink(Packet pkt) {
   ++backlog_packets_;
   PP_OBS(if (twg_backlog_)
              twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_)));
+  if (stalled_) {
+    stalled_q_.push_back(std::move(pkt));
+    return;
+  }
+  dispatch_downlink(std::move(pkt));
+}
 
+void AccessPoint::set_stalled(bool stalled) {
+  stalled_ = stalled;
+  if (stalled_) return;
+  // Release frozen frames in arrival order; each gets a fresh service
+  // delay, and the last_departure_ FIFO clamp keeps them in sequence.
+  while (!stalled_q_.empty()) {
+    Packet p = std::move(stalled_q_.front());
+    stalled_q_.pop_front();
+    dispatch_downlink(std::move(p));
+  }
+}
+
+void AccessPoint::dispatch_downlink(Packet pkt) {
   sim::Duration delay = params_.base_delay;
   auto& rng = sim_.rng();
   delay += sim::Time::ns(static_cast<std::int64_t>(

@@ -50,6 +50,16 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t downlink_forwarded() const { return forwarded_; }
   std::uint64_t backlog_bytes() const { return backlog_bytes_; }
 
+  // Fault injection: while stalled, admitted downlink frames freeze in the
+  // forwarding queue (still subject to the queue limit, still counted as
+  // backlog so the conservation audit holds); un-stalling releases them in
+  // FIFO order with fresh service delays.  Frames whose departure was
+  // already scheduled before the stall still leave — a stall freezes the
+  // queue head, it does not recall frames in service.
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+  std::uint64_t stalled_frames() const { return stalled_q_.size(); }
+
   // Publish drop/forward counters and the backlog depth gauge.
   void set_obs(obs::Hook hook);
 
@@ -70,6 +80,7 @@ class AccessPoint : public PacketSink, public WirelessStation {
  private:
   void send_beacon();
   void forward_downlink(Packet pkt);
+  void dispatch_downlink(Packet pkt);
   void note_drop(const Packet& pkt);
   sim::Simulator& sim_;
   WirelessMedium& medium_;
@@ -82,6 +93,8 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t downlink_in_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t forwarded_ = 0;
+  bool stalled_ = false;
+  std::deque<Packet> stalled_q_;
 
   obs::Hook obs_;
   obs::Counter* ctr_dropped_ = nullptr;

@@ -17,6 +17,10 @@ sim::Duration Channel::tx_time(const Packet& pkt) const {
 }
 
 bool Channel::transmit(Packet pkt) {
+  if (down_) {
+    ++packets_dropped_;
+    return false;
+  }
   if (backlog_bytes_ + pkt.wire_size() > params_.queue_limit_bytes) {
     ++packets_dropped_;
     return false;

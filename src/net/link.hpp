@@ -38,6 +38,12 @@ class Channel {
   // Queue a packet for transmission; returns false if dropped (queue full).
   bool transmit(Packet pkt);
 
+  // Fault injection: while down, every transmit is dropped on the floor
+  // (counted in packets_dropped).  In-flight packets still arrive — a link
+  // flap severs new transmissions, it does not claw bits off the wire.
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
   // Bytes currently waiting (committed but not yet on the wire).
@@ -50,6 +56,7 @@ class Channel {
   WiredParams params_;
   PacketSink& sink_;
   sim::Time busy_until_ = sim::Time::zero();
+  bool down_ = false;
   std::uint64_t backlog_bytes_ = 0;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;

@@ -75,7 +75,13 @@ void WirelessMedium::deliver_to(StationId receiver, const Packet& pkt,
                                 bool& any_delivered) {
   (void)air_start;
   WirelessStation& st = *stations_[receiver].station;
-  const bool corrupted = params_.p_loss > 0 && sim_.rng().chance(params_.p_loss);
+  // The corruption draw happens whether or not the station is listening,
+  // so installing a model (or changing p_loss) consumes the same number of
+  // draws regardless of sleep schedules.
+  const bool corrupted =
+      loss_model_ != nullptr
+          ? loss_model_->corrupted(pkt, stations_[receiver].ip, sim_.now())
+          : (params_.p_loss > 0 && sim_.rng().chance(params_.p_loss));
   if (st.listening() && !corrupted) {
     st.deliver(pkt, airtime);
     any_delivered = true;

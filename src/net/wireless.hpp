@@ -52,6 +52,18 @@ class WirelessStation {
   }
 };
 
+// Pluggable frame-corruption model.  When installed via set_loss_model(),
+// the medium consults it once per (frame, receiver) delivery attempt
+// instead of drawing uniform p_loss from the shared simulator RNG; the
+// model owns its own RNG stream.  `receiver` is the station's IP (the
+// default 0.0.0.0 address for the access point's radio).
+class ChannelLossModel {
+ public:
+  virtual ~ChannelLossModel() = default;
+  virtual bool corrupted(const Packet& pkt, Ipv4Addr receiver,
+                         sim::Time now) = 0;
+};
+
 struct WirelessParams {
   double rate_bps = 11e6;        // data rate
   double broadcast_rate_bps = 2e6;  // basic rate for broadcast frames
@@ -115,6 +127,10 @@ class WirelessMedium {
   // Publish per-frame counters and the airtime histogram to an observer.
   void set_obs(obs::Hook hook);
 
+  // Install a corruption model that overrides uniform p_loss (nullptr
+  // restores the built-in draw).  Not owned; must outlive the medium.
+  void set_loss_model(ChannelLossModel* model) { loss_model_ = model; }
+
  private:
   struct Entry {
     WirelessStation* station;
@@ -134,6 +150,7 @@ class WirelessMedium {
   std::vector<SnifferFn> sniffers_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_missed_ = 0;
+  ChannelLossModel* loss_model_ = nullptr;
 
   obs::Hook obs_;
   obs::Counter* ctr_frames_sent_ = nullptr;

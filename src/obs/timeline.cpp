@@ -18,6 +18,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::Wake, "wake"},
     {EventKind::TcpStall, "tcp_stall"},
     {EventKind::ScheduleMissed, "schedule_missed"},
+    {EventKind::FaultStart, "fault_start"},
+    {EventKind::FaultEnd, "fault_end"},
+    {EventKind::ScheduleRepeat, "schedule_repeat"},
+    {EventKind::Resync, "resync"},
 };
 
 }  // namespace

@@ -28,6 +28,10 @@ enum class EventKind : std::uint8_t {
   Wake,               // subject = client (radio entered high power)
   TcpStall,           // subject = remote endpoint, value = RTO count
   ScheduleMissed,     // subject = client
+  FaultStart,         // subject = client (0 = system-wide), value = FaultKind
+  FaultEnd,           // matches a prior FaultStart (same subject + value)
+  ScheduleRepeat,     // value = repeat index (1-based)
+  Resync,             // subject = client, value = missed SRPs in the outage
 };
 
 const char* to_string(EventKind k);

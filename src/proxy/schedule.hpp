@@ -38,6 +38,10 @@ struct ScheduleMessage : net::Message {
   // Future-work extension (Section 5): when true, the same schedule repeats
   // next interval and clients may skip waking for the next broadcast.
   bool reuse_next = false;
+  // How far after srp_time this copy was (re)broadcast.  Zero on the first
+  // transmission; k-repeat hardening copies carry their lag so clients can
+  // recover the original SRP anchor for delay compensation.
+  sim::Duration repeat_offset{};
   std::vector<ScheduleEntry> entries;
 
   // Entry lookup for one client; nullptr when the client has no burst.

@@ -74,6 +74,27 @@ void TransparentProxy::stop() {
   burst_handles_.clear();
 }
 
+void TransparentProxy::pause() {
+  if (paused_) return;
+  paused_ = true;
+  ++stats_.pauses;
+  tick_handle_.cancel();
+  for (auto& h : burst_handles_) h.cancel();
+  burst_handles_.clear();
+  // Close the gates so no splice keeps streaming into a dead interval;
+  // queued datagrams and buffered splice bytes stay put.
+  // pp-lint: allow(unordered-iter): gate close is order-insensitive
+  for (const auto& [ip, cs] : clients_)
+    for (Splice* s : cs->splices) s->client_side->set_send_gate(false);
+}
+
+void TransparentProxy::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  // Re-enter the loop with a fresh SRP: queues drained on the normal path.
+  if (running_) tick_handle_ = sim_.at(sim_.now(), [this] { schedule_tick(); });
+}
+
 std::uint64_t TransparentProxy::buffered_bytes(net::Ipv4Addr client) const {
   auto it = clients_.find(client);
   if (it == clients_.end()) return 0;
@@ -273,7 +294,7 @@ void TransparentProxy::audit() const {
 }
 
 void TransparentProxy::schedule_tick() {
-  if (!running_) return;
+  if (!running_ || paused_) return;
   reap_splices();
   burst_handles_.clear();
 
@@ -344,6 +365,34 @@ void TransparentProxy::schedule_tick() {
                    msg->entries.size()));
 
   const sim::Time srp = sim_.now();
+
+  // Schedule-loss hardening: rebroadcast the SRP k-1 more times inside the
+  // guard window.  Copies share the seq_no (clients dedupe on it) and carry
+  // their lag in repeat_offset so delay compensation still anchors on the
+  // original SRP.  The timers ride burst_handles_ so pause()/stop() cancel
+  // pending repeats with everything else.
+  for (int r = 1; r < params_.schedule_repeats; ++r) {
+    const sim::Duration lag = params_.repeat_spacing * r;
+    burst_handles_.push_back(sim_.at(srp + lag, [this, msg, lag] {
+      auto rep = std::make_shared<ScheduleMessage>(*msg);
+      rep->repeat_offset = lag;
+      net::Packet rbc = net::make_packet();
+      rbc.src = params_.proxy_ip;
+      rbc.src_port = kSchedulePort;
+      rbc.dst = net::Ipv4Addr::broadcast();
+      rbc.dst_port = kSchedulePort;
+      rbc.proto = net::Protocol::Udp;
+      rbc.payload = rep->serialized_bytes();
+      rbc.data = std::move(rep);
+      rbc.sent_at = sim_.now();
+      wireless_tx_(std::move(rbc));
+      ++stats_.schedule_repeats_sent;
+      PP_OBS(if (auto* tl = obs_.timeline()) tl->record(
+          sim_.now(), obs::EventKind::ScheduleRepeat, 0,
+          static_cast<std::uint64_t>(lag.count_us())));
+    }));
+  }
+
   for (const ScheduleEntry& entry : msg->entries) {
     burst_handles_.push_back(
         sim_.at(srp + entry.rp_offset, [this, entry] { open_burst(entry); }));

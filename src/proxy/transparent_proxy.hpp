@@ -60,6 +60,12 @@ struct ProxyParams {
   // make the proxy overestimate channel capacity, reproducing the slot
   // overruns Section 3.2.2's microbenchmarks exist to prevent.
   double cost_model_scale = 1.0;
+  // Schedule-loss hardening: total SRP broadcast transmissions per interval
+  // (1 = no repeats).  Repeats are spaced `repeat_spacing` apart, carry the
+  // same seq_no (clients dedupe) and a repeat_offset so delay compensation
+  // still anchors on the original SRP.
+  int schedule_repeats = 1;
+  sim::Duration repeat_spacing = sim::Time::ms(3);
   transport::TcpOptions server_side_tcp{};  // manual_consume forced on
   transport::TcpOptions client_side_tcp{};  // defer_rtx_when_gated forced on
 };
@@ -76,6 +82,8 @@ struct ProxyStats {
   std::uint64_t splices_closed = 0;
   std::uint64_t empty_burst_markers = 0;
   std::uint64_t unmatched_packets = 0;
+  std::uint64_t schedule_repeats_sent = 0;
+  std::uint64_t pauses = 0;
 };
 
 class TransparentProxy {
@@ -108,6 +116,13 @@ class TransparentProxy {
   // Begin the schedule loop with the first SRP at `first_srp`.
   void start(sim::Time first_srp);
   void stop();
+
+  // Fault injection: freeze the schedule loop (cancel the pending SRP and
+  // burst timers, close every client send gate) while preserving all
+  // queues and splices.  resume() broadcasts a fresh schedule immediately.
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
 
   // Pre-register a client so it appears in schedules before any traffic.
   void register_client(net::Ipv4Addr ip) { client_state(ip); }
@@ -206,6 +221,7 @@ class TransparentProxy {
   std::uint64_t total_q_bytes_ = 0;  // sum of all clients' pkt_q_bytes
 
   bool running_ = false;
+  bool paused_ = false;
   std::uint64_t schedule_seq_ = 0;
   std::shared_ptr<ScheduleMessage> last_schedule_;
   sim::EventHandle tick_handle_;

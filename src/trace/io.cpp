@@ -59,6 +59,7 @@ void write_trace(std::ostream& os, const TraceBuffer& buf) {
       put<std::uint64_t>(os, sched->seq_no);
       put<std::int64_t>(os, sched->srp_time.count_ns());
       put<std::int64_t>(os, sched->interval.count_ns());
+      put<std::int64_t>(os, sched->repeat_offset.count_ns());
       put<std::uint8_t>(os, sched->reuse_next ? 1 : 0);
       put<std::uint32_t>(os, static_cast<std::uint32_t>(sched->entries.size()));
       for (const auto& e : sched->entries) {
@@ -99,6 +100,7 @@ TraceBuffer read_trace(std::istream& is) {
       sched->seq_no = get<std::uint64_t>(is);
       sched->srp_time = sim::Time::ns(get<std::int64_t>(is));
       sched->interval = sim::Time::ns(get<std::int64_t>(is));
+      sched->repeat_offset = sim::Time::ns(get<std::int64_t>(is));
       sched->reuse_next = get<std::uint8_t>(is) != 0;
       const auto n = get<std::uint32_t>(is);
       sched->entries.reserve(n);

@@ -10,7 +10,7 @@
 
 namespace pp::trace {
 
-inline constexpr char kTraceMagic[8] = {'P', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+inline constexpr char kTraceMagic[8] = {'P', 'P', 'T', 'R', 'A', 'C', 'E', '2'};
 
 // Binary round-trip.
 void write_trace(std::ostream& os, const TraceBuffer& buf);

@@ -349,5 +349,148 @@ TEST_P(EarlySweep, WakeTimeShiftsWithEarlyAmount) {
 INSTANTIATE_TEST_SUITE_P(EarlyAmounts, EarlySweep,
                          ::testing::Values(0, 2, 4, 6, 8, 10));
 
+// -- Graceful degradation: k-repeat dedupe and miss escalation ---------------------
+
+TEST(PowerDaemon, RepeatedScheduleCopyIsDeduped) {
+  Harness h;
+  auto orig = schedule(Time::ms(500), Time::ms(500), {});
+  auto copy = std::make_shared<proxy::ScheduleMessage>(*orig);
+  copy->repeat_offset = Time::ms(3);
+  h.schedule_at(Time::ms(500), orig);
+  // Deliver the k-repeat copy directly: the radio may well be awake for it
+  // (first-slot clients are), and the state machine must shrug it off.
+  h.sim.at(Time::ms(503), [&, copy] { h.daemon.on_schedule(copy); });
+  h.sim.run_until(Time::ms(996));
+  EXPECT_EQ(h.daemon.stats().schedules_received, 1u);
+  EXPECT_EQ(h.daemon.stats().repeats_deduped, 1u);
+  // The duplicate did not wake or re-anchor anything: next wake is still
+  // ~994 ms for the 1000 ms arrival.
+  EXPECT_FALSE(h.awake_during(Time::ms(992)));
+  EXPECT_TRUE(h.awake_during(Time::ms(995)));
+}
+
+TEST(PowerDaemon, RepeatCopyAnchorsOnOriginalArrivalTime) {
+  Harness h;
+  // The original broadcast is lost; only the second transmission (3 ms
+  // later) gets through.  Delay compensation must anchor on where the
+  // original would have arrived, not on the repeat's own lagged arrival.
+  auto copy = schedule(Time::ms(500), Time::ms(500), {});
+  copy->repeat_offset = Time::ms(3);
+  h.schedule_at(Time::ms(503), copy);
+  h.sim.run();
+  // Anchor 500 ms -> next arrival expected 1000 ms -> wake at 994 ms.
+  // (Without the offset it would anchor at 503 and wake at 997.)
+  EXPECT_FALSE(h.awake_during(Time::ms(992)));
+  EXPECT_TRUE(h.awake_during(Time::ms(995)));
+}
+
+TEST(PowerDaemon, EscalationBacksOffAndSleepsThroughDeepOutage) {
+  DaemonConfig cfg;
+  cfg.escalation.enabled = true;
+  cfg.escalation.awake_misses = 1;
+  cfg.escalation.backoff = 2.0;
+  cfg.escalation.max_grace = Time::ms(240);
+  Harness h{cfg};
+  h.schedule_at(Time::ms(500), schedule(Time::ms(500), Time::ms(500), {}));
+  // Every subsequent schedule is lost until 3000 ms.
+  h.sim.run_until(Time::ms(1100));
+  // Miss #1 at 1030 (grace 30 ms): stay awake, grace widened to 60 ms and
+  // re-armed on the next expected SRP (1500 + 60).
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 1u);
+  EXPECT_EQ(h.daemon.stats().first_misses, 1u);
+  EXPECT_TRUE(h.daemon.awake());
+
+  h.sim.run_until(Time::ms(1700));
+  // Miss #2 at 1560: beyond awake_misses, so the daemon sleeps through to
+  // just before the next expected SRP (wakes at 1994).
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 2u);
+  EXPECT_EQ(h.daemon.stats().repeat_misses, 1u);
+  EXPECT_EQ(h.daemon.stats().escalated_sleeps, 1u);
+  EXPECT_FALSE(h.daemon.awake());
+
+  h.sim.run_until(Time::ms(2000));
+  EXPECT_TRUE(h.daemon.awake());  // up for the 2000 ms SRP attempt
+  h.sim.run_until(Time::ms(2200));
+  // Miss #3 at 2120 (grace now 120 ms): escalated sleep again.
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 3u);
+  EXPECT_EQ(h.daemon.stats().escalated_sleeps, 2u);
+  EXPECT_FALSE(h.daemon.awake());
+
+  // Miss #4 at 2740 (grace capped at 240 ms), then the 3000 ms schedule
+  // arrives while the daemon is awake for its SRP attempt (woke at 2994).
+  h.schedule_at(Time::ms(3000), schedule(Time::ms(3000), Time::ms(500), {}));
+  h.sim.run_until(Time::ms(3100));
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 4u);
+  EXPECT_EQ(h.daemon.stats().resyncs, 1u);
+  EXPECT_FALSE(h.daemon.awake());  // back on schedule, sleeping
+  // Grace reset on resync: a subsequent clean interval behaves normally.
+  h.schedule_at(Time::ms(3500), schedule(Time::ms(3500), Time::ms(500), {}));
+  h.sim.run_until(Time::ms(3600));
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 4u);
+}
+
+TEST(PowerDaemon, EscalationDisabledStaysAwakeAllOutage) {
+  Harness h;  // escalation off by default (paper behavior)
+  h.schedule_at(Time::ms(500), schedule(Time::ms(500), Time::ms(500), {}));
+  h.sim.run_until(Time::ms(2900));
+  // One counted miss, then awake for the whole outage.
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 1u);
+  EXPECT_EQ(h.daemon.stats().escalated_sleeps, 0u);
+  EXPECT_TRUE(h.daemon.awake());
+  EXPECT_TRUE(h.awake_during(Time::ms(1800)));
+  EXPECT_TRUE(h.awake_during(Time::ms(2600)));
+}
+
+TEST(PowerDaemon, CoastBoundForcesReanchorAfterRepeatedBlindCoasts) {
+  // A client that keeps missing schedules but catching its burst data
+  // re-anchors by estimate alone each interval ("blind coast").  If the
+  // anchor is systematically stale, that loop never hears a broadcast and
+  // coasts desynchronized forever; max_blind_coasts (default 2) must cut
+  // the streak and hold the radio awake until a real schedule re-anchors.
+  Harness h;
+  h.schedule_at(
+      Time::ms(500),
+      schedule(Time::ms(500), Time::ms(500),
+               {{kSelf, Time::ms(100), Time::ms(50), proxy::SlotKind::Any}}));
+  h.data_at(Time::ms(602), false);
+  h.data_at(Time::ms(605), true);
+  // SRPs at 1000/1500/2000 are lost, but the data bursts still flow at the
+  // (stale) slot offsets the daemon estimates.
+  for (int i = 1; i <= 3; ++i) {
+    h.data_at(Time::ms(1000 * 1 + 500 * (i - 1) + 102), false);
+    h.data_at(Time::ms(1000 * 1 + 500 * (i - 1) + 105), true);
+  }
+  h.schedule_at(Time::ms(2500), schedule(Time::ms(2500), Time::ms(500), {}));
+  h.sim.run_until(Time::ms(2600));
+  // Coasts #1 and #2 slept between mark and the next estimated SRP...
+  EXPECT_FALSE(h.awake_during(Time::ms(1300)));
+  EXPECT_FALSE(h.awake_during(Time::ms(1800)));
+  // ...but the third mark hit the coast bound: awake until the 2500
+  // broadcast instead of blindly sleeping on the suspect anchor.
+  EXPECT_TRUE(h.awake_during(Time::ms(2200)));
+  EXPECT_TRUE(h.awake_during(Time::ms(2450)));
+  EXPECT_EQ(h.daemon.stats().coast_breaks, 1u);
+  EXPECT_EQ(h.daemon.stats().schedules_missed, 3u);
+  EXPECT_EQ(h.daemon.stats().schedules_received, 2u);
+  EXPECT_EQ(h.delivered, 8);  // every burst was caught, coasting or not
+  h.sim.run_until(Time::ms(2900));
+  EXPECT_FALSE(h.awake_during(Time::ms(2800)));  // re-anchored, sleeping
+}
+
+TEST(PowerDaemon, ResyncRecordsOutageDepth) {
+  DaemonConfig cfg;
+  cfg.escalation.enabled = true;
+  Harness h{cfg};
+  h.schedule_at(Time::ms(500), schedule(Time::ms(500), Time::ms(500), {}));
+  h.schedule_at(Time::ms(2500), schedule(Time::ms(2500), Time::ms(500), {}));
+  h.sim.run_until(Time::ms(2600));
+  // SRPs at 1000/1500/2000 lost; the 2500 one resynchronizes.
+  EXPECT_EQ(h.daemon.stats().resyncs, 1u);
+  EXPECT_GE(h.daemon.stats().schedules_missed, 2u);
+  EXPECT_EQ(h.daemon.stats().first_misses, 1u);
+  EXPECT_GE(h.daemon.stats().repeat_misses, 1u);
+  EXPECT_GT(h.daemon.stats().missed_wait, Time::zero());
+}
+
 }  // namespace
 }  // namespace pp::client

@@ -33,19 +33,6 @@ struct ScopedHashSalt {
   std::uint64_t prev_;
 };
 
-// A short mixed scenario: video + web + ftp touches every subsystem the
-// digest folds (schedules, bursts, PSM, TCP splices) in ~seconds of sim
-// time.
-ScenarioConfig short_mixed_config() {
-  ScenarioConfig cfg;
-  cfg.roles = {1, kRoleWeb, kRoleFtp};
-  cfg.policy = IntervalPolicy::Variable;
-  cfg.duration_s = 12.0;
-  cfg.web_pages = 3;
-  cfg.ftp_bytes = 200'000;
-  return cfg;
-}
-
 // -- Digest primitives -------------------------------------------------------------
 
 TEST(DigestTest, TimelineDigestIsValueSensitive) {
@@ -113,6 +100,19 @@ TEST(HashSaltTest, ScopedSaltRestores) {
 
 #if PP_OBS_ENABLED
 
+// A short mixed scenario: video + web + ftp touches every subsystem the
+// digest folds (schedules, bursts, PSM, TCP splices) in ~seconds of sim
+// time.
+ScenarioConfig short_mixed_config() {
+  ScenarioConfig cfg;
+  cfg.roles = {1, kRoleWeb, kRoleFtp};
+  cfg.policy = IntervalPolicy::Variable;
+  cfg.duration_s = 12.0;
+  cfg.web_pages = 3;
+  cfg.ftp_bytes = 200'000;
+  return cfg;
+}
+
 TEST(DeterminismTest, SameConfigSameSaltSameDigest) {
   const ScenarioConfig cfg = short_mixed_config();
   ScopedHashSalt s{1};
@@ -146,6 +146,53 @@ TEST(DeterminismTest, DigestIsSensitiveToConfig) {
   ScenarioConfig a = short_mixed_config();
   ScenarioConfig b = a;
   b.seed = a.seed + 1;
+  EXPECT_NE(run_digest(a), run_digest(b));
+}
+
+// The acceptance property for the fault layer: a run with the full fault
+// battery armed — Gilbert-Elliott bursty loss, every window kind, k-repeat
+// and miss escalation — stays a pure function of its config.  The fault
+// stream is named (derived from the run seed, never sim_.rng()), so the
+// hash salt must not leak into any fault draw or recovery path.
+ScenarioConfig faulted_config() {
+  ScenarioConfig cfg = short_mixed_config();
+  cfg.fault.ge.enabled = true;
+  cfg.fault.ge.p_good_bad = 0.02;
+  cfg.fault.ge.p_bad_good = 0.01;  // bad sojourns span multiple SRPs
+  cfg.fault.ge.loss_bad = 0.9;
+  cfg.fault.fade(testbed_client_ip(0), Time::ms(2500), Time::ms(1200));
+  cfg.fault.ap_stall(Time::ms(5000), Time::ms(700));
+  cfg.fault.link_flap(Time::ms(7000), Time::ms(400));
+  cfg.fault.proxy_pause(Time::ms(9000), Time::ms(600));
+  cfg.schedule_repeats = 2;
+  cfg.miss_escalation = true;
+  return cfg;
+}
+
+TEST(DeterminismTest, FaultedDigestInvariantUnderHashSalt) {
+  const ScenarioConfig cfg = faulted_config();
+  std::uint64_t d1 = 0;
+  std::uint64_t d2 = 0;
+  {
+    ScopedHashSalt s{1};
+    d1 = run_digest(cfg);
+  }
+  {
+    ScopedHashSalt s{99991};
+    d2 = run_digest(cfg);
+  }
+  EXPECT_NE(d1, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(DeterminismTest, DigestIsSensitiveToFaultSpec) {
+  ScopedHashSalt s{1};
+  const ScenarioConfig a = short_mixed_config();
+  ScenarioConfig b = a;
+  b.fault.ge.enabled = true;
+  b.fault.ge.p_good_bad = 0.05;
+  b.fault.ge.p_bad_good = 0.05;
+  b.fault.ge.loss_bad = 0.9;
   EXPECT_NE(run_digest(a), run_digest(b));
 }
 

@@ -1,0 +1,390 @@
+// Fault-injection layer tests: deterministic fault streams, the
+// Gilbert-Elliott channel, component effects (AP stall, link flap, proxy
+// pause), graceful degradation end-to-end through the wireless medium, and
+// the auditor's fault-window pairing invariant.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "check/audit.hpp"
+#include "check/check.hpp"
+#include "exp/scenario.hpp"
+#include "exp/testbed.hpp"
+#include "fault/plan.hpp"
+#include "fault/spec.hpp"
+#include "net/access_point.hpp"
+#include "net/link.hpp"
+#include "net/wireless.hpp"
+#include "sim/simulator.hpp"
+
+namespace pp::fault {
+namespace {
+
+using sim::Time;
+
+const net::Ipv4Addr kClient = net::Ipv4Addr::octets(172, 16, 0, 1);
+
+net::Packet downlink_to(net::Ipv4Addr dst) {
+  net::Packet p = net::make_packet();
+  p.src = net::Ipv4Addr::octets(10, 0, 0, 1);
+  p.dst = dst;
+  p.proto = net::Protocol::Udp;
+  p.payload = 500;
+  return p;
+}
+
+// -- Named RNG stream --------------------------------------------------------------
+
+TEST(FaultStream, ReproduciblePerSeedAndIndependent) {
+  sim::Rng a = fault_stream(42);
+  sim::Rng b = fault_stream(42);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  sim::Rng c = fault_stream(43);
+  sim::Rng d = fault_stream(42);
+  // Different run seed diverges immediately; the stream tag keeps the
+  // fault stream distinct from a raw Rng{seed} (the simulator's stream).
+  EXPECT_NE(c.next_u64(), d.next_u64());
+  EXPECT_NE(sim::Rng{42}.next_u64(), fault_stream(42).next_u64());
+}
+
+// -- Gilbert-Elliott channel -------------------------------------------------------
+
+TEST(GilbertElliott, CorruptionSequenceIsDeterministic) {
+  sim::Simulator sim1{7};
+  sim::Simulator sim2{7};
+  FaultSpec spec;
+  spec.ge.enabled = true;
+  spec.ge.p_good_bad = 0.1;
+  spec.ge.p_bad_good = 0.2;
+  FaultPlan p1{sim1, spec, 7};
+  FaultPlan p2{sim2, spec, 7};
+  const net::Packet pkt = downlink_to(kClient);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(p1.corrupted(pkt, kClient, Time::ms(i)),
+              p2.corrupted(pkt, kClient, Time::ms(i)));
+  }
+  EXPECT_EQ(p1.stats().ge_losses, p2.stats().ge_losses);
+  EXPECT_EQ(p1.stats().ge_bad_entries, p2.stats().ge_bad_entries);
+  EXPECT_GT(p1.stats().ge_losses, 0u);
+  EXPECT_GT(p1.stats().ge_bad_entries, 0u);
+}
+
+TEST(GilbertElliott, LossesClusterInBadState) {
+  // With rare entries into a long, lossy bad state, overall loss must sit
+  // far above the good-state rate yet losses must arrive in bursts: more
+  // clustered than independent drops at the same average rate.
+  sim::Simulator sim{11};
+  FaultSpec spec;
+  spec.ge.enabled = true;
+  spec.ge.p_good_bad = 0.01;
+  spec.ge.p_bad_good = 0.05;
+  spec.ge.loss_good = 0.0;
+  spec.ge.loss_bad = 0.9;
+  FaultPlan plan{sim, spec, 11};
+  const net::Packet pkt = downlink_to(kClient);
+  const int n = 20000;
+  int losses = 0;
+  int adjacent = 0;  // lost frame immediately following a lost frame
+  bool prev = false;
+  for (int i = 0; i < n; ++i) {
+    const bool lost = plan.corrupted(pkt, kClient, Time::ms(i));
+    if (lost) {
+      ++losses;
+      if (prev) ++adjacent;
+    }
+    prev = lost;
+  }
+  const double rate = static_cast<double>(losses) / n;
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.5);
+  // Independent losses would give adjacent/losses ~= rate; bursty losses
+  // repeat far more often.
+  EXPECT_GT(static_cast<double>(adjacent) / losses, 3.0 * rate);
+}
+
+TEST(GilbertElliott, PerClientChainsAreIndependent) {
+  sim::Simulator sim{3};
+  FaultSpec spec;
+  spec.ge.enabled = true;
+  spec.ge.p_good_bad = 0.05;
+  spec.ge.p_bad_good = 0.05;
+  spec.ge.loss_good = 0.0;
+  spec.ge.loss_bad = 1.0;
+  FaultPlan plan{sim, spec, 3};
+  const net::Ipv4Addr other = net::Ipv4Addr::octets(172, 16, 0, 2);
+  // Interleaved draws on two channels both make progress; the keying uses
+  // the receiver for downlink and the source for uplink (AP receiver).
+  const net::Packet down_a = downlink_to(kClient);
+  net::Packet up_a = net::make_packet();
+  up_a.src = kClient;
+  up_a.dst = net::Ipv4Addr::octets(10, 0, 0, 1);
+  int a_lost = 0;
+  int b_lost = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (plan.corrupted(down_a, kClient, Time::ms(i))) ++a_lost;
+    if (plan.corrupted(downlink_to(other), other, Time::ms(i))) ++b_lost;
+    // Uplink frame from kClient advances the same chain as its downlink.
+    plan.corrupted(up_a, net::Ipv4Addr{}, Time::ms(i));
+  }
+  EXPECT_GT(a_lost, 0);
+  EXPECT_GT(b_lost, 0);
+}
+
+// -- Deep fade ---------------------------------------------------------------------
+
+TEST(DeepFade, TotalLossInsideWindowOnly) {
+  sim::Simulator sim{5};
+  FaultSpec spec;
+  spec.fade(kClient, Time::ms(100), Time::ms(50));
+  FaultPlan plan{sim, spec, 5};
+  const net::Packet pkt = downlink_to(kClient);
+  EXPECT_FALSE(plan.corrupted(pkt, kClient, Time::ms(99)));
+  EXPECT_TRUE(plan.corrupted(pkt, kClient, Time::ms(100)));
+  EXPECT_TRUE(plan.corrupted(pkt, kClient, Time::ms(149)));
+  EXPECT_FALSE(plan.corrupted(pkt, kClient, Time::ms(150)));
+  // Another client's channel is untouched.
+  const net::Ipv4Addr other = net::Ipv4Addr::octets(172, 16, 0, 2);
+  EXPECT_FALSE(plan.corrupted(downlink_to(other), other, Time::ms(120)));
+  EXPECT_EQ(plan.stats().fade_losses, 2u);
+}
+
+// -- Component effects -------------------------------------------------------------
+
+TEST(LinkFlap, DownChannelDropsEverything) {
+  sim::Simulator sim{1};
+  struct CountSink : net::PacketSink {
+    int n = 0;
+    void handle_packet(net::Packet) override { ++n; }
+  } sink;
+  net::Channel ch{sim, net::WiredParams{}, sink};
+  ch.set_down(true);
+  EXPECT_FALSE(ch.transmit(downlink_to(kClient)));
+  EXPECT_EQ(ch.packets_dropped(), 1u);
+  ch.set_down(false);
+  EXPECT_TRUE(ch.transmit(downlink_to(kClient)));
+  sim.run();
+  EXPECT_EQ(sink.n, 1);
+  EXPECT_EQ(ch.packets_sent(), 1u);
+}
+
+TEST(ApStall, FreezesQueueAndReleasesInOrder) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  sim::Simulator sim{1};
+  net::WirelessMedium medium{sim};
+  net::AccessPoint ap{sim, medium};
+  struct St : net::WirelessStation {
+    std::vector<std::uint64_t> ids;
+    bool listening() const override { return true; }
+    void deliver(net::Packet p, sim::Duration) override {
+      ids.push_back(p.id);
+    }
+  } st;
+  medium.attach_station(st, kClient);
+
+  ap.set_stalled(true);
+  net::Packet a = downlink_to(kClient);
+  net::Packet b = downlink_to(kClient);
+  const std::uint64_t id_a = a.id;
+  const std::uint64_t id_b = b.id;
+  sim.at(Time::ms(1), [&, a, b]() mutable {
+    ap.handle_packet(std::move(a));
+    ap.handle_packet(std::move(b));
+  });
+  sim.run_until(Time::ms(100));
+  EXPECT_TRUE(st.ids.empty());
+  EXPECT_EQ(ap.stalled_frames(), 2u);
+  EXPECT_NO_THROW(ap.audit());  // frozen frames still counted as backlog
+
+  sim.at(Time::ms(101), [&] { ap.set_stalled(false); });
+  sim.run_until(Time::ms(200));
+  ASSERT_EQ(st.ids.size(), 2u);
+  EXPECT_EQ(st.ids[0], id_a);  // FIFO across the stall
+  EXPECT_EQ(st.ids[1], id_b);
+  EXPECT_EQ(ap.stalled_frames(), 0u);
+  EXPECT_NO_THROW(ap.audit());
+}
+
+// -- Auditor pairing ---------------------------------------------------------------
+
+TEST(AuditorFaults, EndWithoutStartTrips) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  check::Auditor a;
+  const obs::TimelineEvent e{Time::ms(1), Time::zero(),
+                             obs::EventKind::FaultEnd, 1, 2};
+  EXPECT_THROW(a.on_event(e), check::CheckError);
+}
+
+TEST(AuditorFaults, UnclosedWindowTripsAtFinalize) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  check::Auditor a;
+  a.on_event({Time::ms(1), Time::zero(), obs::EventKind::FaultStart, 1, 2});
+  EXPECT_THROW(a.finalize(Time::ms(10)), check::CheckError);
+}
+
+TEST(AuditorFaults, PairedAndNestedWindowsPass) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  check::Auditor a;
+  // Two overlapping windows of the same (subject, kind) nest.
+  a.on_event({Time::ms(1), Time::zero(), obs::EventKind::FaultStart, 1, 2});
+  a.on_event({Time::ms(2), Time::zero(), obs::EventKind::FaultStart, 1, 2});
+  a.on_event({Time::ms(3), Time::zero(), obs::EventKind::FaultEnd, 1, 2});
+  a.on_event({Time::ms(4), Time::zero(), obs::EventKind::FaultEnd, 1, 2});
+  // Distinct kinds are independent keys.
+  a.on_event({Time::ms(5), Time::zero(), obs::EventKind::FaultStart, 0, 3});
+  a.on_event({Time::ms(6), Time::zero(), obs::EventKind::FaultEnd, 0, 3});
+  EXPECT_NO_THROW(a.finalize(Time::ms(10)));
+}
+
+// -- End-to-end through the testbed ------------------------------------------------
+
+// Deterministic injected schedule loss, end-to-end through the wireless
+// medium: a deep fade on client 0 spanning three SRPs (1000/1500/2000 ms at
+// the Fixed500 policy) makes it miss schedule broadcasts while client 1
+// keeps receiving them.  Exercises the missed-schedule path the paper's
+// Section 4.3 analyzes, plus the resync bookkeeping.
+TEST(FaultEndToEnd, DeepFadeCausesMissedSchedulesAndResync) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1, 1};  // two 128K video clients
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 10.0;
+  cfg.wireless_p_loss = 0.0;  // fade is the only loss source
+  cfg.fault.fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1200));
+  const exp::ScenarioResult res = exp::run_scenario(cfg);
+
+  const exp::ClientResult& faded = res.clients[0];
+  const exp::ClientResult& clean = res.clients[1];
+  // Legacy (paper) policy: the grace timer fires once per outage, then the
+  // client waits awake — one counted miss however many SRPs the fade ate.
+  EXPECT_EQ(faded.schedules_missed, 1u);
+  EXPECT_EQ(faded.first_misses, 1u);
+  EXPECT_EQ(faded.repeat_misses, 0u);
+  EXPECT_EQ(faded.resyncs, 1u);
+  EXPECT_EQ(clean.schedules_missed, 0u);
+  EXPECT_EQ(res.fault_stats.windows_activated, 1u);
+  EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
+  EXPECT_GT(res.fault_stats.fade_losses, 0u);
+}
+
+// The same fade with escalation enabled: the daemon gives up waiting after
+// one awake miss and sleeps between SRP attempts, trading missed_wait for
+// escalated sleeps.
+TEST(FaultEndToEnd, EscalationConvertsMissedWaitIntoSleep) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig base;
+  base.roles = {1, 1};
+  base.policy = exp::IntervalPolicy::Fixed500;
+  base.duration_s = 10.0;
+  base.wireless_p_loss = 0.0;
+  base.fault.fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1700));
+
+  exp::ScenarioConfig esc = base;
+  esc.miss_escalation = true;
+  const exp::ScenarioResult r_base = exp::run_scenario(base);
+  const exp::ScenarioResult r_esc = exp::run_scenario(esc);
+  // Baseline counts one miss and burns the outage awake; escalation re-arms
+  // per expected SRP (so it counts repeat misses) and sleeps the intervals.
+  EXPECT_EQ(r_base.clients[0].escalated_sleeps, 0u);
+  EXPECT_EQ(r_base.clients[0].schedules_missed, 1u);
+  EXPECT_GE(r_esc.clients[0].schedules_missed, 3u);
+  EXPECT_GE(r_esc.clients[0].repeat_misses, 2u);
+  EXPECT_GE(r_esc.clients[0].escalated_sleeps, 2u);
+  EXPECT_GE(r_esc.clients[0].resyncs, 1u);
+  // Sleeping through the outage must cost less than waiting it out awake.
+  EXPECT_LT(r_esc.clients[0].energy_mj, r_base.clients[0].energy_mj);
+}
+
+TEST(FaultEndToEnd, ApStallWindowPreservesConservation) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1, exp::kRoleWeb};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 10.0;
+  cfg.fault.ap_stall(Time::ms(2000), Time::ms(800));
+  const exp::ScenarioResult res = exp::run_scenario(cfg);  // audits inside
+  EXPECT_EQ(res.fault_stats.windows_activated, 1u);
+  EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
+  // Traffic kept flowing after recovery.
+  EXPECT_GT(res.clients[0].packets_received, 0u);
+}
+
+TEST(FaultEndToEnd, ProxyPausePreservesQueuesAcrossWindow) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1, 1};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 10.0;
+  cfg.fault.proxy_pause(Time::ms(3000), Time::ms(900));
+  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  EXPECT_EQ(res.proxy_stats.pauses, 1u);
+  // The proxy queue audit ran inside run_scenario: queued == burst +
+  // residual held across the pause.  Scheduling resumed afterwards.
+  EXPECT_GT(res.proxy_stats.schedules_sent, 10u);
+  EXPECT_GT(res.clients[0].packets_received, 0u);
+}
+
+TEST(FaultEndToEnd, LinkFlapRecoversAndAuditsPass) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 10.0;
+  cfg.fault.link_flap(Time::ms(4000), Time::ms(600));
+  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  EXPECT_EQ(res.fault_stats.windows_activated, 1u);
+  EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
+  EXPECT_GT(res.clients[0].packets_received, 0u);
+}
+
+// Schedule k-repeat: with a clean channel every repeat is a duplicate, so
+// clients dedupe k-1 copies per interval and the schedule state machine is
+// untouched (same schedules_received as the k=1 run).
+TEST(FaultEndToEnd, ScheduleRepeatsAreDeduplicated) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1, 1};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 10.0;
+  cfg.wireless_p_loss = 0.0;
+  exp::ScenarioConfig rep = cfg;
+  rep.schedule_repeats = 3;
+  const exp::ScenarioResult r1 = exp::run_scenario(cfg);
+  const exp::ScenarioResult r3 = exp::run_scenario(rep);
+  // Two repeats per SRP; the final SRP's repeats may land past the horizon.
+  EXPECT_GE(r3.proxy_stats.schedule_repeats_sent,
+            2 * (r3.proxy_stats.schedules_sent - 1));
+  EXPECT_LE(r3.proxy_stats.schedule_repeats_sent,
+            2 * r3.proxy_stats.schedules_sent);
+  EXPECT_GT(r3.clients[0].repeats_deduped, 0u);
+  EXPECT_EQ(r1.clients[0].schedules_received,
+            r3.clients[0].schedules_received);
+}
+
+// The acceptance scenario: a Gilbert-Elliott bad-state burst spanning
+// multiple SRPs plus an AP stall window, with k-repeat and escalation on.
+// Completing run_scenario means every conservation audit (AP, proxy,
+// energy, auditor pairing) passed under the throwing handler.
+TEST(FaultEndToEnd, CombinedGeBurstAndApStallPassesAllAudits) {
+  check::ScopedFailureHandler guard{check::throwing_handler};
+  exp::ScenarioConfig cfg;
+  cfg.roles = {1, 1, exp::kRoleWeb};
+  cfg.policy = exp::IntervalPolicy::Fixed500;
+  cfg.duration_s = 12.0;
+  cfg.wireless_p_loss = 0.0;
+  cfg.fault.ge.enabled = true;
+  cfg.fault.ge.p_good_bad = 0.02;
+  cfg.fault.ge.p_bad_good = 0.01;  // mean bad sojourn ~100 attempts
+  cfg.fault.ge.loss_bad = 0.95;
+  cfg.fault.ap_stall(Time::ms(5000), Time::ms(700));
+  cfg.schedule_repeats = 2;
+  cfg.miss_escalation = true;
+  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  EXPECT_GT(res.fault_stats.ge_losses, 0u);
+  EXPECT_GT(res.fault_stats.ge_bad_entries, 0u);
+  EXPECT_EQ(res.fault_stats.windows_activated, 1u);
+  EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
+}
+
+}  // namespace
+}  // namespace pp::fault
