@@ -2,13 +2,12 @@
 // adaptive algorithm (anchor on the observed schedule arrival) against
 // anchoring on the proxy's clock stamp and against no early transition at
 // all, under realistic access-point jitter.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Ablation: delay compensation algorithms");
+  const auto opts = bench::parse_args(argc, argv);
 
   struct Mode {
     const char* name;
@@ -20,39 +19,38 @@ int main() {
       {"no early transition", client::CompensationMode::None},
   };
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   for (const auto& m : modes) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(5, 0);
-    cfg.policy = exp::IntervalPolicy::Fixed100;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfg.compensation = m.mode;
-    // Pronounced AP jitter, as on real hardware.
-    net::AccessPointParams ap;
-    ap.p_spike = 0.08;
-    ap.spike_max = sim::Time::ms(8);
-    cfg.ap = ap;
-    cfgs.push_back(cfg);
+    items.push_back({m.name, exp::ScenarioBuilder{}
+                                 .video(5, 0)
+                                 .policy(exp::IntervalPolicy::Fixed100)
+                                 .seed(42)
+                                 .duration_s(140.0)
+                                 .compensation(m.mode)
+                                 // Pronounced AP jitter, as on real hardware.
+                                 .ap_jitter(0.08, sim::Time::ms(8))
+                                 .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("%-22s %8s %8s %10s %14s\n", "algorithm", "avg%", "loss%",
-              "sched-miss", "missed-pkts");
+  bench::Report rep{"Ablation: delay compensation algorithms"};
+  auto& sec = rep.section();
   for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& clients = sweep.outcomes[i].record.clients;
     std::uint64_t miss = 0, pkts = 0;
-    for (const auto& c : results[i].clients) {
+    for (const auto& c : clients) {
       miss += c.schedules_missed;
       pkts += c.packets_missed;
     }
-    std::printf("%-22s %8.1f %8.2f %10llu %14llu\n", modes[i].name,
-                exp::summarize_all(results[i].clients).avg,
-                exp::average_loss_pct(results[i].clients),
-                static_cast<unsigned long long>(miss),
-                static_cast<unsigned long long>(pkts));
+    sec.row()
+        .cell("algorithm", modes[i].name)
+        .cell("avg%", exp::summarize_all(clients).avg, 1)
+        .cell("loss%", exp::average_loss_pct(clients), 2)
+        .cell("sched-miss", miss)
+        .cell("missed-pkts", pkts);
   }
-  std::printf(
-      "\nthe adaptive anchor absorbs access-point delay shifts; fixed "
-      "anchors miss\nschedules whenever the path delay drifts.\n");
-  return 0;
+  rep.note(
+      "the adaptive anchor absorbs access-point delay shifts; fixed anchors "
+      "miss schedules whenever the path delay drifts.");
+  return bench::emit(rep, opts);
 }

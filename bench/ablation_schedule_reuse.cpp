@@ -4,44 +4,46 @@
 // reuse flag, letting clients skip waking for the next broadcast and wake
 // only at their burst rendezvous point.  With a static schedule this
 // halves the wake transitions.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Ablation: schedule reuse (the paper's future-work idea)");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   for (bool honor : {true, false}) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(10, 0);
-    cfg.policy = exp::IntervalPolicy::StaticEqual100;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfg.honor_reuse = honor;
-    cfgs.push_back(cfg);
+    items.push_back({honor ? "reuse" : "wake",
+                     exp::ScenarioBuilder{}
+                         .video(10, 0)
+                         .policy(exp::IntervalPolicy::StaticEqual100)
+                         .seed(42)
+                         .duration_s(140.0)
+                         .honor_reuse(honor)
+                         .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("%-22s %8s %8s %12s %12s\n", "client behaviour", "avg%",
-              "loss%", "sched-rcvd", "sleeps");
-  const char* names[] = {"reuse (skip schedule)", "wake for schedule"};
+  bench::Report rep{"Ablation: schedule reuse (the paper's future-work idea)"};
+  auto& sec = rep.section();
+  const char* kNames[] = {"reuse (skip schedule)", "wake for schedule"};
   for (int i = 0; i < 2; ++i) {
+    const auto& clients = sweep.outcomes[i].record.clients;
     std::uint64_t scheds = 0, sleeps = 0;
-    for (const auto& c : results[i].clients) {
+    for (const auto& c : clients) {
       scheds += c.schedules_received;
       sleeps += c.sleeps;
     }
-    std::printf("%-22s %8.1f %8.2f %12llu %12llu\n", names[i],
-                exp::summarize_all(results[i].clients).avg,
-                exp::average_loss_pct(results[i].clients),
-                static_cast<unsigned long long>(scheds),
-                static_cast<unsigned long long>(sleeps));
+    sec.row()
+        .cell("client behaviour", kNames[i])
+        .cell("avg%", exp::summarize_all(clients).avg, 1)
+        .cell("loss%", exp::average_loss_pct(clients), 2)
+        .cell("sched-rcvd", scheds)
+        .cell("sleeps", sleeps);
   }
-  std::printf(
-      "\nreuse removes the per-interval schedule wake: fewer transitions "
-      "and less early-\ntransition waste, exactly the saving Section 5 "
-      "anticipates.\n");
-  return 0;
+  rep.note(
+      "reuse removes the per-interval schedule wake: fewer transitions and "
+      "less early-transition waste, exactly the saving Section 5 "
+      "anticipates.");
+  return bench::emit(rep, opts);
 }

@@ -3,38 +3,42 @@
 // believe the channel is faster than it is, so bursts overrun their slots
 // and subsequent clients sit awake waiting for data that arrives late —
 // the exact failure mode the paper's microbenchmarks exist to prevent.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Ablation: send-cost model calibration");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
   const std::vector<double> scales{1.0, 0.7, 0.5, 0.3};
+  std::vector<exp::sweep::Item> items;
   for (double scale : scales) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(10, 2);  // ten 256K clients
-    cfg.policy = exp::IntervalPolicy::Fixed500;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfg.cost_model_scale = scale;
-    cfgs.push_back(cfg);
+    items.push_back({"scale=" + std::to_string(scale),
+                     exp::ScenarioBuilder{}
+                         .video(10, 2)  // ten 256K clients
+                         .policy(exp::IntervalPolicy::Fixed500)
+                         .seed(42)
+                         .duration_s(140.0)
+                         .cost_model_scale(scale)
+                         .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("%-12s %8s %8s %8s %8s\n", "model scale", "avg%", "min%",
-              "loss%", "ap-drops");
+  bench::Report rep{"Ablation: send-cost model calibration"};
+  auto& sec = rep.section();
   for (std::size_t i = 0; i < scales.size(); ++i) {
-    const auto s = exp::summarize_all(results[i].clients);
-    std::printf("%11.1fx %8.1f %8.1f %8.2f %8llu\n", scales[i], s.avg, s.min,
-                exp::average_loss_pct(results[i].clients),
-                static_cast<unsigned long long>(results[i].ap_drops));
+    const auto& r = sweep.outcomes[i].record;
+    const auto s = exp::summarize_all(r.clients);
+    sec.row()
+        .cell("model-scale", scales[i], 1)
+        .cell("avg%", s.avg, 1)
+        .cell("min%", s.min, 1)
+        .cell("loss%", exp::average_loss_pct(r.clients), 2)
+        .cell("ap-drops", r.ap_drops);
   }
-  std::printf(
-      "\nan optimistic cost model overruns slots: later clients wake on "
-      "time but their\ndata is still queued behind the overrun, wasting "
-      "energy and missing packets.\n");
-  return 0;
+  rep.note(
+      "an optimistic cost model overruns slots: later clients wake on time "
+      "but their data is still queued behind the overrun, wasting energy "
+      "and missing packets.");
+  return bench::emit(rep, opts);
 }

@@ -5,53 +5,62 @@
 // throughput to ~window/RTT.  The double connection hides the buffering
 // from the sender, so transfers finish much faster at the same energy
 // policy.
-#include <cstdio>
-
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
 namespace {
 
-pp::exp::ScenarioResult run_mode(pp::proxy::ProxyMode mode) {
+pp::exp::ScenarioConfig mode_cfg(pp::proxy::ProxyMode mode) {
   using namespace pp;
-  exp::ScenarioConfig cfg;
-  cfg.roles = {exp::kRoleFtp};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 37;
-  cfg.duration_s = 400.0;
-  cfg.ftp_bytes = 2'000'000;
-  cfg.proxy_mode = mode;
-  return exp::run_scenario(cfg);
+  return exp::ScenarioBuilder{}
+      .ftp()
+      .policy(exp::IntervalPolicy::Fixed500)
+      .seed(37)
+      .duration_s(400.0)
+      .ftp_bytes(2'000'000)
+      .proxy_mode(mode)
+      .build();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Ablation: spliced connections vs buffered passthrough");
+  const auto opts = bench::parse_args(argc, argv);
 
-  const auto spliced = run_mode(proxy::ProxyMode::Splice);
-  const auto buffered = run_mode(proxy::ProxyMode::BufferedPassthrough);
-
-  auto report = [](const char* name, const exp::ScenarioResult& r) {
-    const auto& c = r.clients[0];
-    std::printf("%-24s transfer=%8.2fs  saved=%5.1f%%  bytes=%llu\n", name,
-                c.ftp_seconds, c.saved_pct,
-                static_cast<unsigned long long>(c.app_bytes));
+  const std::vector<exp::sweep::Item> items{
+      {"spliced", mode_cfg(proxy::ProxyMode::Splice)},
+      {"buffered", mode_cfg(proxy::ProxyMode::BufferedPassthrough)},
   };
-  report("spliced (double conn)", spliced);
-  report("buffered passthrough", buffered);
+  const auto sweep = bench::run_battery(items, opts);
 
-  const double ts = spliced.clients[0].ftp_seconds;
-  const double tb = buffered.clients[0].ftp_seconds;
-  if (ts > 0 && tb > 0) {
-    std::printf("\nsplicing speeds the transfer up %.1fx: the server's RTT "
-                "excludes the burst delay,\nso its window opens instead of "
-                "stalling at window/RTT.\n", tb / ts);
-  } else if (tb <= 0) {
-    std::printf("\nbuffered passthrough did not even finish within the "
-                "horizon — the end-to-end\nconnection collapsed to "
-                "window/RTT throughput. That is exactly why the paper "
-                "splices.\n");
+  bench::Report rep{"Ablation: spliced connections vs buffered passthrough"};
+  auto& sec = rep.section();
+  const char* kNames[] = {"spliced (double conn)", "buffered passthrough"};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& c = sweep.outcomes[i].record.clients[0];
+    sec.row()
+        .cell("mode", kNames[i])
+        .cell("transfer-s", c.ftp_seconds, 2)
+        .cell("saved%", c.saved_pct, 1)
+        .cell("bytes", c.app_bytes);
   }
-  return 0;
+
+  const double ts = sweep.outcomes[0].record.clients[0].ftp_seconds;
+  const double tb = sweep.outcomes[1].record.clients[0].ftp_seconds;
+  if (ts > 0 && tb > 0) {
+    char note[192];
+    std::snprintf(note, sizeof note,
+                  "splicing speeds the transfer up %.1fx: the server's RTT "
+                  "excludes the burst delay, so its window opens instead of "
+                  "stalling at window/RTT.",
+                  tb / ts);
+    rep.note(note);
+  } else if (tb <= 0) {
+    rep.note(
+        "buffered passthrough did not even finish within the horizon — the "
+        "end-to-end connection collapsed to window/RTT throughput. That is "
+        "exactly why the paper splices.");
+  }
+  return bench::emit(rep, opts);
 }

@@ -1,0 +1,115 @@
+// Smoke test for the battery pipeline (ctest label: bench-smoke).
+//
+// Runs a tiny three-item sweep twice against a fresh cache directory and
+// asserts the engine's core contract end to end:
+//   - the first (cold) pass runs everything live and stores it,
+//   - the second (warm) pass is pure cache hits — zero simulations,
+//   - both passes render byte-identical JSON and identical run digests.
+//
+// Exits nonzero with a diagnostic on any violation.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
+
+namespace {
+
+pp::bench::Report render(const pp::exp::sweep::SweepResult& sweep) {
+  using namespace pp;
+  bench::Report rep{"bench smoke battery"};
+  auto& sec = rep.section();
+  for (const auto& oc : sweep.outcomes) {
+    const auto s = exp::summarize_all(oc.record.clients);
+    sec.row()
+        .cell("scenario", oc.label)
+        .cell("avg%", s.avg, 2)
+        .cell("loss%", exp::average_loss_pct(oc.record.clients), 2)
+        .cell("digest", oc.record.digest);
+  }
+  return rep;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "bench_smoke FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pp;
+  auto opts = bench::parse_args(argc, argv);
+  opts.progress = false;
+
+  namespace fs = std::filesystem;
+  fs::path cache_dir;
+  if (opts.cache_dir.empty()) {
+    cache_dir = fs::temp_directory_path() /
+                ("pp-bench-smoke." + std::to_string(::getpid()));
+    opts.cache_dir = cache_dir.string();
+  } else {
+    cache_dir = opts.cache_dir;
+  }
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // guarantee the first pass is cold
+
+  std::vector<exp::sweep::Item> items;
+  items.push_back({"video-2x56K", exp::ScenarioBuilder{}
+                                      .video(2, 0)
+                                      .policy(exp::IntervalPolicy::Fixed500)
+                                      .seed(11)
+                                      .duration_s(8.0)
+                                      .build()});
+  items.push_back({"web-x2", exp::ScenarioBuilder{}
+                                 .web(2)
+                                 .policy(exp::IntervalPolicy::Fixed100)
+                                 .seed(12)
+                                 .duration_s(8.0)
+                                 .build()});
+  items.push_back({"lossy-mixed", exp::ScenarioBuilder{}
+                                      .video(1, 1)
+                                      .web(1)
+                                      .policy(exp::IntervalPolicy::Variable)
+                                      .seed(13)
+                                      .duration_s(8.0)
+                                      .wireless_p_loss(0.05)
+                                      .build()});
+
+  const auto cold = bench::run_battery(items, opts);
+  const auto warm = bench::run_battery(items, opts);
+  fs::remove_all(cache_dir, ec);
+
+  if (cold.stats.hits != 0) return fail("cold pass had cache hits");
+  if (cold.stats.misses != items.size()) {
+    return fail("cold pass did not run every item");
+  }
+  if (warm.stats.hits != items.size()) {
+    return fail("warm pass was not pure cache hits");
+  }
+  if (warm.stats.misses != 0 || warm.stats.uncacheable != 0) {
+    return fail("warm pass ran simulations");
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (cold.outcomes[i].record.digest != warm.outcomes[i].record.digest) {
+      return fail("digest mismatch between cold and warm pass");
+    }
+    if (cold.outcomes[i].record.digest == 0) {
+      return fail("zero digest (observability disabled?)");
+    }
+  }
+  const std::string cold_json = render(cold).json();
+  const std::string warm_json = render(warm).json();
+  if (cold_json != warm_json) {
+    return fail("warm JSON is not byte-identical to cold JSON");
+  }
+
+  std::printf("bench_smoke OK: %zu items cold->warm, all hits, %zu-byte "
+              "JSON identical\n",
+              items.size(), cold_json.size());
+  return 0;
+}

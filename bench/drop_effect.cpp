@@ -9,69 +9,72 @@
 // Paper reference: dropping packets while asleep costs no more than a 10%
 // increase in transmission time (=> no more than ~5% extra energy), because
 // the proxy-client RTT is small; the DummyNet run behaves similarly.
-#include <cstdio>
-
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
 namespace {
 
-pp::exp::ScenarioResult run_ftp(bool naive_like, double p_loss) {
+pp::exp::ScenarioConfig ftp_cfg(bool naive_like, double p_loss) {
   using namespace pp;
-  exp::ScenarioConfig cfg;
-  cfg.roles = {exp::kRoleFtp};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 31;
-  cfg.duration_s = 200.0;
-  cfg.ftp_bytes = 2'000'000;
+  exp::ScenarioBuilder b;
+  b.ftp()
+      .policy(exp::IntervalPolicy::Fixed500)
+      .seed(31)
+      .duration_s(200.0)
+      .ftp_bytes(2'000'000);
   if (naive_like) {
     // Direct baseline: no shaping, client always in high power.
-    cfg.proxy_mode = proxy::ProxyMode::Passthrough;
-    cfg.naive_clients = true;
+    b.proxy_mode(proxy::ProxyMode::Passthrough).naive_clients();
   }
   if (p_loss > 0) {
     net::WirelessParams wp;
     wp.p_loss = p_loss;
-    cfg.wireless = wp;
+    b.wireless(wp);
   }
-  return exp::run_scenario(cfg);
+  return b.build();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Drop studies (2 MB ftp download)");
+  const auto opts = bench::parse_args(argc, argv);
 
-  const auto direct = run_ftp(/*naive_like=*/true, 0.0);
-  const auto sched = run_ftp(/*naive_like=*/false, 0.0);
-  const auto lossy = run_ftp(/*naive_like=*/false, 0.05);
+  const std::vector<exp::sweep::Item> items{
+      {"direct", ftp_cfg(/*naive_like=*/true, 0.0)},
+      {"scheduled", ftp_cfg(/*naive_like=*/false, 0.0)},
+      {"scheduled+5%drop", ftp_cfg(/*naive_like=*/false, 0.05)},
+  };
+  const auto sweep = bench::run_battery(items, opts);
 
-  const double t_direct = direct.clients[0].ftp_seconds;
-  const double t_sched = sched.clients[0].ftp_seconds;
-  const double t_lossy = lossy.clients[0].ftp_seconds;
-
-  std::printf("%-34s %12s %10s %10s\n", "configuration", "transfer(s)",
-              "saved%", "loss%");
-  std::printf("%-34s %12.2f %10.1f %10.2f\n", "direct (passthrough proxy)",
-              t_direct, direct.clients[0].saved_pct,
-              direct.clients[0].loss_pct);
-  std::printf("%-34s %12.2f %10.1f %10.2f\n",
-              "scheduled (drops while asleep)", t_sched,
-              sched.clients[0].saved_pct, sched.clients[0].loss_pct);
-  std::printf("%-34s %12.2f %10.1f %10.2f\n",
-              "scheduled + 5% medium drop (4Mb/s)", t_lossy,
-              lossy.clients[0].saved_pct, lossy.clients[0].loss_pct);
-
-  if (t_direct > 0 && t_sched > 0) {
-    std::printf(
-        "\nscheduling slows the transfer %.1fx (bursts trade latency for "
-        "energy);\n5%% random drops add %.1f%% on top of the scheduled "
-        "time.\n",
-        t_sched / t_direct,
-        t_lossy > 0 ? 100.0 * (t_lossy - t_sched) / t_sched : -1.0);
+  const char* kNames[] = {"direct (passthrough proxy)",
+                          "scheduled (drops while asleep)",
+                          "scheduled + 5% medium drop (4Mb/s)"};
+  bench::Report rep{"Drop studies (2 MB ftp download)"};
+  auto& sec = rep.section();
+  double t[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& c = sweep.outcomes[i].record.clients[0];
+    t[i] = c.ftp_seconds;
+    sec.row()
+        .cell("configuration", kNames[i])
+        .cell("transfer-s", c.ftp_seconds, 2)
+        .cell("saved%", c.saved_pct, 1)
+        .cell("loss%", c.loss_pct, 2);
   }
-  std::printf(
-      "paper: the *drop-when-asleep* effect itself is <= 10%% transfer-time "
-      "increase\n(<= ~5%% energy), thanks to the short proxy-client RTT.\n");
-  return 0;
+
+  if (t[0] > 0 && t[1] > 0) {
+    char note[192];
+    std::snprintf(note, sizeof note,
+                  "scheduling slows the transfer %.1fx (bursts trade latency "
+                  "for energy); 5%% random drops add %.1f%% on top of the "
+                  "scheduled time.",
+                  t[1] / t[0],
+                  t[2] > 0 ? 100.0 * (t[2] - t[1]) / t[1] : -1.0);
+    rep.note(note);
+  }
+  rep.note(
+      "paper: the *drop-when-asleep* effect itself is <= 10% transfer-time "
+      "increase (<= ~5% energy), thanks to the short proxy-client RTT.");
+  return bench::emit(rep, opts);
 }

@@ -13,53 +13,23 @@
 // along so the sweep also crosses a frozen-queue outage.
 //
 // The penalty column is energy above the fault-free baseline, per client.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-namespace {
-
-constexpr int kClients = 6;
-constexpr double kDuration = 120.0;
-
-pp::exp::ScenarioConfig base_config() {
-  pp::exp::ScenarioConfig cfg;
-  cfg.roles = std::vector<int>(kClients, 1);  // six 128K video clients
-  cfg.policy = pp::exp::IntervalPolicy::Fixed500;
-  cfg.seed = 42;
-  cfg.duration_s = kDuration;
-  cfg.wireless_p_loss = 0.0;  // fades are the only channel loss
-  return cfg;
-}
-
-void add_faults(pp::exp::ScenarioConfig& cfg) {
-  using pp::sim::Time;
-  // SRPs fire at 500 ms + k * 500 ms; blackout the broadcast instant for
-  // client (k mod kClients).  Stop early enough that every window closes
-  // before the horizon (the auditor requires recovery by end of run).
-  for (int k = 0;; ++k) {
-    const Time srp = Time::ms(500 + 500 * k);
-    if (srp.to_seconds() >= kDuration - 0.1) break;
-    cfg.fault.fade(pp::exp::testbed_client_ip(k % kClients),
-                   srp - Time::ms(2), Time::ms(10));
-  }
-  cfg.fault.ap_stall(Time::seconds(60.0), Time::ms(800));
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading(
-      "Fault sweep: SRP-blackout fades + AP stall, k-repeat and escalation");
+  const auto opts = bench::parse_args(argc, argv);
 
-  struct Row {
+  constexpr int kClients = 6;
+  constexpr double kDuration = 120.0;
+
+  struct Config {
     const char* name;
     bool faults;
     int repeats;
     bool escalation;
   };
-  const std::vector<Row> rows{
+  const std::vector<Config> rows{
       {"no-fault", false, 1, false},
       {"fault k=1", true, 1, false},
       {"fault k=2", true, 2, false},
@@ -67,62 +37,64 @@ int main() {
       {"fault k=2+esc", true, 2, true},
   };
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   for (const auto& r : rows) {
-    exp::ScenarioConfig cfg = base_config();
-    if (r.faults) add_faults(cfg);
-    cfg.schedule_repeats = r.repeats;
-    cfg.schedule_repeat_spacing = sim::Time::ms(12);  // clears the null
-    cfg.miss_escalation = r.escalation;
-    cfgs.push_back(cfg);
+    items.push_back(
+        {r.name, exp::ScenarioBuilder::fault_battery(kClients, kDuration,
+                                                     r.faults)
+                     .schedule_repeats(r.repeats)
+                     .schedule_repeat_spacing(sim::Time::ms(12))  // clears null
+                     .miss_escalation(r.escalation)
+                     .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  const auto& clients0 = results[0].clients;
+  const auto& clients0 = sweep.outcomes[0].record.clients;
   double base_energy = 0;
   for (const auto& c : clients0) base_energy += c.energy_mj;
   base_energy /= static_cast<double>(clients0.size());
 
-  std::printf("%-14s %10s %12s %7s %6s %6s %7s %6s %8s %8s\n", "config",
-              "avg-mJ", "penalty-mJ", "missed", "first", "rep", "resyncs",
-              "esc", "deduped", "saved%");
+  bench::Report rep{
+      "Fault sweep: SRP-blackout fades + AP stall, k-repeat and escalation"};
+  auto& sec = rep.section();
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& cs = results[i].clients;
+    const auto& cs = sweep.outcomes[i].record.clients;
     double energy = 0, saved = 0;
-    std::uint64_t missed = 0, first = 0, rep = 0, resyncs = 0, esc = 0,
+    std::uint64_t missed = 0, first = 0, repeats = 0, resyncs = 0, esc = 0,
                   deduped = 0;
     for (const auto& c : cs) {
       energy += c.energy_mj;
       saved += c.saved_pct;
       missed += c.schedules_missed;
       first += c.first_misses;
-      rep += c.repeat_misses;
+      repeats += c.repeat_misses;
       resyncs += c.resyncs;
       esc += c.escalated_sleeps;
       deduped += c.repeats_deduped;
     }
     const double n = static_cast<double>(cs.size());
     energy /= n;
-    std::printf("%-14s %10.1f %12.1f %7llu %6llu %6llu %7llu %6llu %8llu "
-                "%8.1f\n",
-                rows[i].name, energy, energy - base_energy,
-                static_cast<unsigned long long>(missed),
-                static_cast<unsigned long long>(first),
-                static_cast<unsigned long long>(rep),
-                static_cast<unsigned long long>(resyncs),
-                static_cast<unsigned long long>(esc),
-                static_cast<unsigned long long>(deduped), saved / n);
+    sec.row()
+        .cell("config", rows[i].name)
+        .cell("avg-mJ", energy, 1)
+        .cell("penalty-mJ", energy - base_energy, 1)
+        .cell("missed", missed)
+        .cell("first", first)
+        .cell("rep", repeats)
+        .cell("resyncs", resyncs)
+        .cell("esc", esc)
+        .cell("deduped", deduped)
+        .cell("saved%", saved / n, 1);
   }
 
-  const auto& fs = results[1].fault_stats;
-  std::printf(
-      "\nfault layer (k=1 run): fade windows=%llu/%llu fade_losses=%llu\n",
-      static_cast<unsigned long long>(fs.windows_activated),
-      static_cast<unsigned long long>(fs.windows_recovered),
-      static_cast<unsigned long long>(fs.fade_losses));
-  std::printf(
-      "expected: k>=2 repeats shrink the energy penalty sharply vs k=1 (the\n"
-      "staggered copy survives the null, so clients stop burning intervals\n"
-      "awake); escalation stays roughly neutral on these one-SRP outages.\n");
-  return 0;
+  const auto& fs = sweep.outcomes[1].record.fault_stats;
+  rep.note("fault layer (k=1 run): fade windows=" +
+           std::to_string(fs.windows_activated) + "/" +
+           std::to_string(fs.windows_recovered) +
+           " fade_losses=" + std::to_string(fs.fade_losses));
+  rep.note(
+      "expected: k>=2 repeats shrink the energy penalty sharply vs k=1 (the "
+      "staggered copy survives the null, so clients stop burning intervals "
+      "awake); escalation stays roughly neutral on these one-SRP outages.");
+  return bench::emit(rep, opts);
 }

@@ -9,12 +9,13 @@
 // high-bandwidth streams and tracks 100 ms for low-bandwidth ones.
 #include <map>
 
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 #include "workload/video.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Figure 4: ten UDP video clients, energy saved vs naive");
+  const auto opts = bench::parse_args(argc, argv);
 
   const std::map<std::string, std::map<std::string, const char*>> paper{
       {"56K", {{"500ms", "77"}}},
@@ -24,52 +25,50 @@ int main() {
       {"All", {{"500ms", "~69"}}},
   };
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   std::vector<std::pair<std::string, std::string>> labels;
-  for (const auto& [iname, policy] : bench::dynamic_intervals()) {
-    for (const auto& [pname, roles] : bench::fig4_patterns()) {
-      exp::ScenarioConfig cfg;
-      cfg.roles = roles;
-      cfg.policy = policy;
-      cfg.seed = 42;
-      cfg.duration_s = 140.0;
-      cfgs.push_back(cfg);
+  for (const auto& [iname, policy] : exp::presets::dynamic_intervals()) {
+    for (const auto& [pname, roles] : exp::presets::fig4_patterns()) {
+      items.push_back({pname + "/" + iname,
+                       exp::ScenarioBuilder::fig4(roles, policy).build()});
       labels.emplace_back(pname, iname);
     }
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::string last_interval;
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  bench::Report rep{"Figure 4: ten UDP video clients, energy saved vs naive"};
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
     const auto& [pattern, interval] = labels[i];
-    if (interval != last_interval) {
-      std::printf("\n-- burst interval: %s --\n", interval.c_str());
-      bench::row_header();
-      last_interval = interval;
-    }
+    const auto& clients = sweep.outcomes[i].record.clients;
+    const auto s = exp::summarize_all(clients);
     const char* ref = "-";
     if (auto pit = paper.find(pattern); pit != paper.end()) {
       if (auto iit = pit->second.find(interval); iit != pit->second.end())
         ref = iit->second;
     }
-    bench::print_row(pattern, interval,
-                     exp::summarize_all(results[i].clients),
-                     exp::average_loss_pct(results[i].clients), ref);
+    rep.section("burst interval: " + interval)
+        .row()
+        .cell("pattern", pattern)
+        .cell("avg%", s.avg, 1)
+        .cell("min%", s.min, 1)
+        .cell("max%", s.max, 1)
+        .cell("loss%", exp::average_loss_pct(clients), 2)
+        .cell("paper-avg%", ref);
   }
 
   // The 512K anomaly (Section 4.3): peak demand of ten 512K streams
   // exceeds the effective wireless bandwidth, so RealServer-style
   // adaptation downshifts some streams.
-  std::printf("\n512K stream adaptation (500 ms interval):\n");
-  for (const auto& c : results[7].clients) {  // 500ms block, 512K pattern
+  auto& adapt = rep.section("512K stream adaptation (500 ms interval)");
+  for (const auto& c : sweep.outcomes[7].record.clients) {
     if (!exp::is_video_role(c.role)) continue;
-    std::printf("  client %-12s final fidelity=%dK  app-loss=%.2f%%\n",
-                c.ip.str().c_str(),
-                c.video_fidelity_final >= 0
-                    ? pp::workload::kFidelities[c.video_fidelity_final]
-                          .nominal_kbps
-                    : -1,
-                c.app_loss_pct);
+    adapt.row()
+        .cell("client", c.ip.str())
+        .cell("final-fidelity-kbps",
+              c.video_fidelity_final >= 0
+                  ? workload::kFidelities[c.video_fidelity_final].nominal_kbps
+                  : -1)
+        .cell("app-loss%", c.app_loss_pct, 2);
   }
-  return 0;
+  return bench::emit(rep, opts);
 }

@@ -6,49 +6,49 @@
 // best-case energy savings among video clients is similar across
 // fidelities (stream adaptation, Section 4.3); TCP clients show lower
 // variance than the UDP ones.
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Figure 5: 7 video + 3 web clients, energy saved by group");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   std::vector<std::pair<std::string, std::string>> labels;
-  for (const auto& [iname, policy] : bench::dynamic_intervals()) {
-    for (const auto& [pname, roles] : bench::fig5_patterns()) {
-      exp::ScenarioConfig cfg;
-      cfg.roles = roles;
-      cfg.policy = policy;
-      cfg.seed = 42;
-      cfg.duration_s = 140.0;
-      cfgs.push_back(cfg);
+  for (const auto& [iname, policy] : exp::presets::dynamic_intervals()) {
+    for (const auto& [pname, roles] : exp::presets::fig5_patterns()) {
+      items.push_back({pname + "/" + iname,
+                       exp::ScenarioBuilder::fig5(roles, policy).build()});
       labels.emplace_back(pname, iname);
     }
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::string last_interval;
-  for (std::size_t i = 0; i < results.size(); ++i) {
+  bench::Report rep{"Figure 5: 7 video + 3 web clients, energy saved by group"};
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
     const auto& [pattern, interval] = labels[i];
-    if (interval != last_interval) {
-      std::printf("\n-- burst interval: %s --\n", interval.c_str());
-      std::printf("%-12s  %28s   %28s\n", "", "UDP clients (avg/min/max %)",
-                  "TCP clients (avg/min/max %)");
-      last_interval = interval;
-    }
-    const auto v = exp::summarize_video(results[i].clients);
-    const auto t = exp::summarize_tcp(results[i].clients);
-    std::printf("%-12s  %8.1f %8.1f %8.1f    %8.1f %8.1f %8.1f\n",
-                pattern.c_str(), v.avg, v.min, v.max, t.avg, t.min, t.max);
+    const auto v = exp::summarize_video(sweep.outcomes[i].record.clients);
+    const auto t = exp::summarize_tcp(sweep.outcomes[i].record.clients);
+    rep.section("burst interval: " + interval)
+        .row()
+        .cell("pattern", pattern)
+        .cell("udp-avg%", v.avg, 1)
+        .cell("udp-min%", v.min, 1)
+        .cell("udp-max%", v.max, 1)
+        .cell("tcp-avg%", t.avg, 1)
+        .cell("tcp-min%", t.min, 1)
+        .cell("tcp-max%", t.max, 1);
   }
 
   // Variance comparison (Section 4.3: "TCP clients have a lower variance").
-  std::printf("\nspread (max-min) at 500 ms:\n");
+  auto& spread = rep.section("spread (max-min) at 500 ms");
   for (std::size_t i = 4; i < 8; ++i) {
-    const auto v = exp::summarize_video(results[i].clients);
-    const auto t = exp::summarize_tcp(results[i].clients);
-    std::printf("  %-12s UDP spread=%5.1f  TCP spread=%5.1f\n",
-                labels[i].first.c_str(), v.max - v.min, t.max - t.min);
+    const auto v = exp::summarize_video(sweep.outcomes[i].record.clients);
+    const auto t = exp::summarize_tcp(sweep.outcomes[i].record.clients);
+    spread.row()
+        .cell("pattern", labels[i].first)
+        .cell("udp-spread", v.max - v.min, 1)
+        .cell("tcp-spread", t.max - t.min, 1);
   }
-  return 0;
+  return bench::emit(rep, opts);
 }

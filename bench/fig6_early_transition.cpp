@@ -9,46 +9,42 @@
 // grows with the early transition amount and a "MissedSched" component
 // that grows as it shrinks; 6 ms is the best value, and missed packets
 // range from 0.97% (10 ms early) to 1.83% (0 ms early).
-#include <cstdio>
-
-#include "bench_util.hpp"
+//
+// The scenario keeps its wireless trace, so it is uncacheable by design:
+// the sweep engine always runs it live and hands back the full result.
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 #include "trace/postmortem.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Figure 6: early transition amount vs wasted energy");
+  const auto opts = bench::parse_args(argc, argv);
 
-  exp::ScenarioConfig cfg;
-  cfg.roles = {0};  // a single 56K video client
-  cfg.policy = exp::IntervalPolicy::Fixed100;
-  cfg.seed = 19;
-  cfg.duration_s = 140.0;
-  cfg.keep_trace = true;
-  // Stress the timing: heavier access-point jitter makes the trade-off
-  // visible, as the paper's real access point did.
-  net::AccessPointParams ap;
-  ap.p_spike = 0.08;
-  ap.spike_max = sim::Time::ms(8);
-  cfg.ap = ap;
-  const auto res = exp::run_scenario(cfg);
-  std::printf("live run: %zu frames captured\n", res.trace.size());
+  const std::vector<exp::sweep::Item> items{
+      {"fig6", exp::ScenarioBuilder::fig6().build()}};
+  const auto sweep = bench::run_battery(items, opts);
+  const auto& res = *sweep.outcomes[0].live;
 
+  bench::Report rep{"Figure 6: early transition amount vs wasted energy"};
+  auto& sec = rep.section();
   trace::PostmortemAnalyzer analyzer{res.trace};
-  std::printf("\n%8s %12s %14s %12s %12s %12s\n", "early", "Early (J)",
-              "MissedSched(J)", "total (J)", "missed-pkt%", "sched-missed");
+  // pp-lint: allow(naked-duration): sweep axis label, converted at use
   for (int early_ms : {0, 2, 4, 6, 8, 10}) {
     client::DaemonConfig dc;
     dc.comp.early = sim::Time::ms(early_ms);
-    const auto rep =
-        analyzer.analyze(res.clients[0].ip, dc, res.horizon);
-    std::printf("%6dms %12.2f %14.2f %12.2f %12.2f %12llu\n", early_ms,
-                rep.early_wait_mj / 1000.0, rep.missed_wait_mj / 1000.0,
-                (rep.early_wait_mj + rep.missed_wait_mj) / 1000.0,
-                rep.loss_fraction * 100.0,
-                static_cast<unsigned long long>(rep.schedules_missed));
+    const auto pm = analyzer.analyze(res.clients[0].ip, dc, res.horizon);
+    sec.row()
+        .cell("early-ms", early_ms)
+        .cell("early-J", pm.early_wait_mj / 1000.0, 2)
+        .cell("missed-sched-J", pm.missed_wait_mj / 1000.0, 2)
+        .cell("total-J", (pm.early_wait_mj + pm.missed_wait_mj) / 1000.0, 2)
+        .cell("missed-pkt%", pm.loss_fraction * 100.0, 2)
+        .cell("sched-missed", pm.schedules_missed);
   }
-  std::printf(
-      "\npaper: Early grows with the amount, MissedSched shrinks; 6 ms "
-      "minimizes the total.\n");
-  return 0;
+  rep.note("live run: " + std::to_string(res.trace.size()) +
+           " frames captured");
+  rep.note(
+      "paper: Early grows with the amount, MissedSched shrinks; 6 ms "
+      "minimizes the total.");
+  return bench::emit(rep, opts);
 }

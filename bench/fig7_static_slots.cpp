@@ -6,67 +6,57 @@
 // TCP slot means every client stays awake longer, wasting energy.
 // Right panel: the TCP client's energy (bars) and end-to-end latency
 // (dots) — shrinking the TCP slot raises background-traffic latency.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Figure 7: slotted static schedule @ 500 ms");
+  const auto opts = bench::parse_args(argc, argv);
 
   const std::vector<double> weights{0.10, 0.33, 0.56};
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   for (int fidelity : {0, 1, 2, 3}) {
     for (double w : weights) {
-      exp::ScenarioConfig cfg;
-      // Nine video clients of one fidelity + one background web client
-      // ("medium" background traffic).
-      cfg.roles = std::vector<int>(9, fidelity);
-      cfg.roles.push_back(exp::kRoleWeb);
-      cfg.policy = exp::IntervalPolicy::SlottedStatic500;
-      cfg.slotted_tcp_weight = w;
-      cfg.web_think_mean_s = 2.0;  // medium background level
-      cfg.seed = 42;
-      cfg.duration_s = 140.0;
-      cfgs.push_back(cfg);
+      items.push_back(
+          {exp::role_name(fidelity) + "/w" + std::to_string(w),
+           exp::ScenarioBuilder::fig7(fidelity, w).build()});
     }
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("left panel: UDP client energy used (%% of naive; lower is "
-              "better)\n");
-  std::printf("%-8s %14s %14s %14s\n", "stream", "TCP wt=10%",
-              "TCP wt=33%", "TCP wt=56%");
+  bench::Report rep{"Figure 7: slotted static schedule @ 500 ms"};
+  auto& left =
+      rep.section("left panel: UDP client energy used (% of naive; lower is "
+                  "better)");
   int idx = 0;
   for (int fidelity : {0, 1, 2, 3}) {
-    double used[3];
+    auto& row = left.row().cell("stream", exp::role_name(fidelity));
+    static const char* kCols[3] = {"TCP wt=10%", "TCP wt=33%", "TCP wt=56%"};
     for (int k = 0; k < 3; ++k) {
-      const auto s = exp::summarize_video(results[idx + k].clients);
-      used[k] = 100.0 - s.avg;  // energy *used*, as the paper plots
+      const auto s =
+          exp::summarize_video(sweep.outcomes[idx + k].record.clients);
+      row.cell(kCols[k], 100.0 - s.avg, 1);  // energy *used*, as plotted
     }
-    std::printf("%-8s %13.1f%% %13.1f%% %13.1f%%\n",
-                exp::role_name(fidelity).c_str(), used[0], used[1], used[2]);
     idx += 3;
   }
 
-  std::printf("\nright panel: the TCP (background) client\n");
-  std::printf("%-12s %16s %22s\n", "TCP weight", "energy used (%)",
-              "end-to-end latency (ms)");
   // Use the 256K block (paper's "medium general client" panel).
+  auto& right = rep.section("right panel: the TCP (background) client");
   idx = 6;
   for (int k = 0; k < 3; ++k) {
-    const auto& res = results[idx + k];
     double energy_used = 0, latency = 0;
-    for (const auto& c : res.clients) {
+    for (const auto& c : sweep.outcomes[idx + k].record.clients) {
       if (exp::is_video_role(c.role)) continue;
       energy_used = 100.0 - c.saved_pct;
       latency = c.page_time_ms;
     }
-    std::printf("%10.0f%% %15.1f%% %22.0f\n", weights[k] * 100.0,
-                energy_used, latency);
+    right.row()
+        .cell("tcp-weight%", weights[k] * 100.0, 0)
+        .cell("energy-used%", energy_used, 1)
+        .cell("latency-ms", latency, 0);
   }
-  std::printf(
-      "\npaper: a small TCP slot minimizes UDP-client energy but inflates "
-      "TCP latency;\na large slot wastes energy on every client.\n");
-  return 0;
+  rep.note(
+      "paper: a small TCP slot minimizes UDP-client energy but inflates "
+      "TCP latency; a large slot wastes energy on every client.");
+  return bench::emit(rep, opts);
 }

@@ -16,7 +16,7 @@
 
 #include "exp/testbed.hpp"
 #include "obs/observer.hpp"
-#include "obs_overhead_common.hpp"
+#include "bench/obs_overhead_kernel.hpp"
 #include "proxy/scheduler.hpp"
 
 namespace {

@@ -3,7 +3,7 @@
 // expands to nothing and obs::Hook is the empty obs_off variant.
 #define PP_OBS_DISABLED 1
 
-#include "obs_overhead_common.hpp"
+#include "bench/obs_overhead_kernel.hpp"
 
 std::uint64_t obs_compiled_out_hot_loop(std::uint64_t iters) {
   return pp_bench::burst_hot_loop(pp::obs::Hook{}, iters);

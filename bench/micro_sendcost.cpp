@@ -2,54 +2,64 @@
 // channel time across payload sizes and fit the linear send-cost model the
 // proxy uses to size bursts.  Prints the samples, the fitted line, and the
 // residuals, plus round-trip checks of the slot-budget inversion.
-#include <cstdio>
+//
+// No scenarios run here, so there is nothing to sweep or cache; the
+// binary still renders through the shared Report sink.
+#include <algorithm>
+#include <cmath>
 
+#include "bench/battery.hpp"
 #include "net/wireless.hpp"
 #include "proxy/bandwidth.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  std::printf("=== send-cost microbenchmark (Section 3.2.2) ===\n\n");
+  const auto opts = bench::parse_args(argc, argv);
 
   sim::Simulator sim;
   net::WirelessMedium medium{sim};
 
+  bench::Report rep{"send-cost microbenchmark (Section 3.2.2)"};
   std::vector<proxy::BandwidthEstimator::Sample> samples;
-  std::printf("%8s %14s\n", "payload", "channel (us)");
+  auto& probes = rep.section("per-frame channel time");
   for (std::uint32_t payload = 40; payload <= 1400; payload += 136) {
     net::Packet probe = net::make_packet();
     probe.payload = payload;
     probe.dst = net::Ipv4Addr::octets(172, 16, 0, 1);
     const double s = medium.airtime_of(probe).to_seconds();
     samples.push_back({payload, s});
-    std::printf("%8u %14.1f\n", payload, s * 1e6);
+    probes.row().cell("payload", payload).cell("channel-us", s * 1e6, 1);
   }
 
   proxy::BandwidthEstimator est{samples};
-  std::printf("\nfit: cost(n) = %.1f us + %.4f us/byte\n",
-              est.overhead_seconds() * 1e6, est.seconds_per_byte() * 1e6);
-
   double worst = 0;
   for (const auto& s : samples) {
     const double pred = est.packet_cost(s.payload_bytes).to_seconds();
     worst = std::max(worst, std::abs(pred - s.seconds));
   }
-  std::printf("max residual: %.3f us\n", worst * 1e6);
+  auto& fit = rep.section("fitted linear model");
+  fit.row()
+      .cell("overhead-us", est.overhead_seconds() * 1e6, 1)
+      .cell("us-per-byte", est.seconds_per_byte() * 1e6, 4)
+      .cell("max-residual-us", worst * 1e6, 3);
 
-  std::printf("\nslot-budget inversion (bulk_cost -> payload_budget):\n");
-  std::printf("%10s %14s %12s\n", "bytes", "slot (ms)", "budget");
+  auto& inv = rep.section("slot-budget inversion (bulk_cost -> payload_budget)");
   for (std::uint64_t bytes : {1400ull, 10'000ull, 60'000ull, 250'000ull}) {
     const auto slot = est.bulk_cost(bytes, 1400, 40);
-    std::printf("%10llu %14.2f %12llu\n",
-                static_cast<unsigned long long>(bytes), slot.to_ms(),
-                static_cast<unsigned long long>(
-                    est.payload_budget(slot, 1400, 40)));
+    inv.row()
+        .cell("bytes", bytes)
+        .cell("slot-ms", slot.to_ms(), 2)
+        .cell("budget", est.payload_budget(slot, 1400, 40));
   }
 
   const double goodput =
       1400.0 * 8.0 / est.packet_cost(1400).to_seconds() / 1e6;
-  std::printf("\nimplied UDP goodput at full frames: %.2f Mb/s "
-              "(paper measured ~4 Mb/s effective)\n", goodput);
-  return 0;
+  char note[128];
+  std::snprintf(note, sizeof note,
+                "implied UDP goodput at full frames: %.2f Mb/s (paper "
+                "measured ~4 Mb/s effective)",
+                goodput);
+  rep.note(note);
+  return bench::emit(rep, opts);
 }

@@ -6,52 +6,56 @@
 // measured 77 / 66 / 53 %; the median client lands within 10-15% of
 // optimal.  Best-case 512K clients can *exceed* the 512K optimal because
 // stream adaptation downshifts their stream (the anomaly discussed there).
-#include <cstdio>
-
-#include "bench_util.hpp"
+//
+// These runs keep their wireless trace (optimal airtime is integrated from
+// it), so the engine treats them as uncacheable and always runs live.
+#include "bench/battery.hpp"
 #include "energy/wnic.hpp"
+#include "exp/builder.hpp"
 #include "workload/video.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Comparison to optimal (ten clients, 500 ms interval)");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
-  std::vector<int> fidelities{0, 2, 3};
+  const std::vector<int> fidelities{0, 2, 3};
+  std::vector<exp::sweep::Item> items;
   for (int f : fidelities) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(10, f);
-    cfg.policy = exp::IntervalPolicy::Fixed500;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfg.keep_trace = true;
-    cfgs.push_back(cfg);
+    items.push_back({exp::role_name(f),
+                     exp::ScenarioBuilder{}
+                         .video(10, f)
+                         .policy(exp::IntervalPolicy::Fixed500)
+                         .seed(42)
+                         .duration_s(140.0)
+                         .keep_trace()
+                         .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("%-8s %10s %10s %10s %12s %12s\n", "stream", "optimal%",
-              "measured%", "best%", "gap(pts)", "paper(opt/meas)");
+  bench::Report rep{"Comparison to optimal (ten clients, 500 ms interval)"};
+  auto& sec = rep.section();
   const char* paper[] = {"90/77", "83/66", "77/53"};
-  for (std::size_t i = 0; i < cfgs.size(); ++i) {
-    const int f = fidelities[i];
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& res = *sweep.outcomes[i].live;
     // t_opt: airtime to receive the whole stream back to back, from the
     // actual bytes delivered and the calibrated channel cost.
     double total_airtime_s = 0;
-    double span_s = cfgs[i].duration_s;
-    for (const auto& r : results[i].trace) {
-      if (r.from_ap && !r.is_broadcast() &&
-          r.dst == results[i].clients[0].ip)
+    for (const auto& r : res.trace) {
+      if (r.from_ap && !r.is_broadcast() && r.dst == res.clients[0].ip)
         total_airtime_s += r.airtime.to_seconds();
     }
-    energy::OptimalInput in{span_s, total_airtime_s, {}};
+    energy::OptimalInput in{140.0, total_airtime_s, {}};
     const double opt = 100.0 * energy::optimal_energy_saved_fraction(in);
-    const auto s = exp::summarize_all(results[i].clients);
-    std::printf("%-8s %10.1f %10.1f %10.1f %12.1f %12s\n",
-                exp::role_name(f).c_str(), opt, s.avg, s.max, opt - s.avg,
-                paper[i]);
+    const auto s = exp::summarize_all(res.clients);
+    sec.row()
+        .cell("stream", exp::role_name(fidelities[i]))
+        .cell("optimal%", opt, 1)
+        .cell("measured%", s.avg, 1)
+        .cell("best%", s.max, 1)
+        .cell("gap-pts", opt - s.avg, 1)
+        .cell("paper(opt/meas)", paper[i]);
   }
-  std::printf(
-      "\npaper's headline claim: savings within 10-15%% of optimal are "
-      "common.\n");
-  return 0;
+  rep.note(
+      "paper's headline claim: savings within 10-15% of optimal are common.");
+  return bench::emit(rep, opts);
 }

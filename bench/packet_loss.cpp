@@ -3,121 +3,123 @@
 //
 // Paper reference: usually less than 2% with a few outliers — data is sent
 // according to the schedule, so sleeping clients rarely miss anything.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Packet loss across experiment families (500 ms interval)");
+  const auto opts = bench::parse_args(argc, argv);
 
   struct Family {
     std::string name;
     std::vector<int> roles;
   };
-  std::vector<Family> families{
+  const std::vector<Family> families{
       {"video 56K x10", std::vector<int>(10, 0)},
       {"video 256K x10", std::vector<int>(10, 2)},
       {"video 512K x10", std::vector<int>(10, 3)},
       {"web x10", std::vector<int>(10, exp::kRoleWeb)},
-      {"mixed 7v+3w", {0, 0, 1, 1, 2, 2, 3, exp::kRoleWeb, exp::kRoleWeb,
-                       exp::kRoleWeb}},
+      {"mixed 7v+3w",
+       {0, 0, 1, 1, 2, 2, 3, exp::kRoleWeb, exp::kRoleWeb, exp::kRoleWeb}},
   };
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   for (const auto& f : families) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = f.roles;
-    cfg.policy = exp::IntervalPolicy::Fixed500;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfgs.push_back(cfg);
+    items.push_back({f.name, exp::ScenarioBuilder::fig4(
+                                 f.roles, exp::IntervalPolicy::Fixed500)
+                                 .build()});
   }
-  const auto results = bench::run_batch(cfgs);
-
-  std::printf("%-16s %10s %10s %10s %14s\n", "family", "avg-loss%",
-              "max-loss%", "<2%-count", "app-loss(avg)%");
-  for (std::size_t i = 0; i < families.size(); ++i) {
-    double mx = 0, app = 0;
-    int under2 = 0;
-    for (const auto& c : results[i].clients) {
-      mx = std::max(mx, c.loss_pct);
-      app += c.app_loss_pct;
-      under2 += c.loss_pct < 2.0;
-    }
-    std::printf("%-16s %10.2f %10.2f %7d/10 %14.2f\n",
-                families[i].name.c_str(),
-                exp::average_loss_pct(results[i].clients), mx, under2,
-                app / results[i].clients.size());
-  }
-  std::printf("\npaper: typically < 2%% missed packets, a few outliers.\n");
 
   // -- Uniform vs Gilbert-Elliott channel sweep ------------------------------------
   // Same average corruption rate, two very different loss processes:
   // independent per-frame drops vs correlated bad-state bursts.  The GE
   // rows fix p_bad_good (sojourn length) and solve p_good_bad for the
   // target average, so the curves are comparable point by point.
-  bench::heading("Uniform vs Gilbert-Elliott loss (mixed 4v+2w, 60 s)");
   const std::vector<double> targets{0.005, 0.01, 0.02, 0.05, 0.1};
   const double p_bad_good = 0.02;
   const double loss_bad = 0.85;
   const double loss_good = 0.0;
 
-  std::vector<exp::ScenarioConfig> sweep;
+  auto curve_base = [] {
+    return exp::ScenarioBuilder{}
+        .video(2, 1)
+        .video(2, 2)
+        .web(2)
+        .policy(exp::IntervalPolicy::Fixed500)
+        .seed(42)
+        .duration_s(60.0);
+  };
+  std::vector<double> solved_p_good_bad;
   for (const double p : targets) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = {1, 1, 2, 2, exp::kRoleWeb, exp::kRoleWeb};
-    cfg.policy = exp::IntervalPolicy::Fixed500;
-    cfg.seed = 42;
-    cfg.duration_s = 60.0;
-    cfg.wireless_p_loss = p;
-    sweep.push_back(cfg);
+    items.push_back({"uniform p=" + std::to_string(p),
+                     curve_base().wireless_p_loss(p).build()});
   }
   for (const double p : targets) {
-    exp::ScenarioConfig cfg = sweep[0];
-    cfg.wireless_p_loss = 0.0;
-    cfg.fault.ge.enabled = true;
+    auto b = curve_base().wireless_p_loss(0.0);
     const double f_bad = p / loss_bad;  // stationary bad-state fraction
-    cfg.fault.ge.p_good_bad = p_bad_good * f_bad / (1.0 - f_bad);
-    cfg.fault.ge.p_bad_good = p_bad_good;
-    cfg.fault.ge.loss_good = loss_good;
-    cfg.fault.ge.loss_bad = loss_bad;
-    sweep.push_back(cfg);
+    auto& ge = b.fault_spec().ge;
+    ge.enabled = true;
+    ge.p_good_bad = p_bad_good * f_bad / (1.0 - f_bad);
+    ge.p_bad_good = p_bad_good;
+    ge.loss_good = loss_good;
+    ge.loss_bad = loss_bad;
+    solved_p_good_bad.push_back(ge.p_good_bad);
+    items.push_back({"ge p=" + std::to_string(p), b.build()});
   }
-  const auto curves = bench::run_batch(sweep);
+  const auto sweep = bench::run_battery(items, opts);
 
-  auto miss_sum = [](const exp::ScenarioResult& r) {
+  bench::Report rep{"Packet loss across experiment families (500 ms interval)"};
+  auto& fam = rep.section();
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto& clients = sweep.outcomes[i].record.clients;
+    double mx = 0, app = 0;
+    int under2 = 0;
+    for (const auto& c : clients) {
+      mx = std::max(mx, c.loss_pct);
+      app += c.app_loss_pct;
+      under2 += c.loss_pct < 2.0;
+    }
+    fam.row()
+        .cell("family", families[i].name)
+        .cell("avg-loss%", exp::average_loss_pct(clients), 2)
+        .cell("max-loss%", mx, 2)
+        .cell("<2%-count", under2)
+        .cell("app-loss-avg%", app / static_cast<double>(clients.size()), 2);
+  }
+  rep.note("paper: typically < 2% missed packets, a few outliers.");
+
+  const auto miss_sum = [](const exp::sweep::RunRecord& r) {
     std::uint64_t m = 0;
     for (const auto& c : r.clients) m += c.schedules_missed;
     return m;
   };
-  std::printf("{\n  \"uniform\": [");
+  auto& uni = rep.section("uniform loss (mixed 4v+2w, 60 s)");
   for (std::size_t i = 0; i < targets.size(); ++i) {
-    const auto& r = curves[i];
-    std::printf(
-        "%s\n    {\"p\": %.3f, \"avg_loss_pct\": %.3f, \"avg_saved_pct\": "
-        "%.2f, \"schedules_missed\": %llu}",
-        i ? "," : "", targets[i], exp::average_loss_pct(r.clients),
-        exp::summarize_all(r.clients).avg,
-        static_cast<unsigned long long>(miss_sum(r)));
+    const auto& r = sweep.outcomes[families.size() + i].record;
+    uni.row()
+        .cell("p", targets[i], 3)
+        .cell("avg-loss%", exp::average_loss_pct(r.clients), 3)
+        .cell("avg-saved%", exp::summarize_all(r.clients).avg, 2)
+        .cell("schedules-missed", miss_sum(r));
   }
-  std::printf("\n  ],\n  \"gilbert_elliott\": [");
+  auto& ge = rep.section("gilbert-elliott loss (mixed 4v+2w, 60 s)");
   for (std::size_t i = 0; i < targets.size(); ++i) {
-    const auto& r = curves[targets.size() + i];
-    std::printf(
-        "%s\n    {\"p_avg\": %.3f, \"p_good_bad\": %.5f, \"p_bad_good\": "
-        "%.3f, \"loss_bad\": %.2f, \"avg_loss_pct\": %.3f, "
-        "\"avg_saved_pct\": %.2f, \"schedules_missed\": %llu, "
-        "\"ge_bad_entries\": %llu}",
-        i ? "," : "", targets[i],
-        sweep[targets.size() + i].fault.ge.p_good_bad, p_bad_good, loss_bad,
-        exp::average_loss_pct(r.clients), exp::summarize_all(r.clients).avg,
-        static_cast<unsigned long long>(miss_sum(r)),
-        static_cast<unsigned long long>(r.fault_stats.ge_bad_entries));
+    const auto& r =
+        sweep.outcomes[families.size() + targets.size() + i].record;
+    ge.row()
+        .cell("p-avg", targets[i], 3)
+        .cell("p-good-bad", solved_p_good_bad[i], 5)
+        .cell("p-bad-good", p_bad_good, 3)
+        .cell("loss-bad", loss_bad, 2)
+        .cell("avg-loss%", exp::average_loss_pct(r.clients), 3)
+        .cell("avg-saved%", exp::summarize_all(r.clients).avg, 2)
+        .cell("schedules-missed", miss_sum(r))
+        .cell("ge-bad-entries", r.fault_stats.ge_bad_entries);
   }
-  std::printf(
-      "\n  ]\n}\n"
-      "same average rate, different process: correlated GE bursts take out\n"
+  rep.note(
+      "same average rate, different process: correlated GE bursts take out "
       "whole schedule+burst exchanges where uniform loss nicks single "
-      "frames.\n");
-  return 0;
+      "frames.");
+  return bench::emit(rep, opts);
 }

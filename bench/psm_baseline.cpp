@@ -5,13 +5,16 @@
 // The PSM topology is assembled by hand from the library's pieces: the
 // proxy runs in passthrough mode (no shaping), the access point broadcasts
 // beacons and parks frames for dozing stations, and PsmClient dozes
-// between beacons.  The proxy rows reuse the standard scenario runner.
-#include <cstdio>
+// between beacons.  The hand-built half cannot express itself as a
+// ScenarioConfig, so it runs directly; the proxy rows go through the
+// sweep engine (and its cache) like every other battery.
+#include <algorithm>
 #include <memory>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
 #include "client/psm_client.hpp"
+#include "exp/builder.hpp"
 #include "exp/testbed.hpp"
 #include "proxy/scheduler.hpp"
 #include "workload/video.hpp"
@@ -71,32 +74,46 @@ PsmRun run_psm(int clients, int fidelity, double duration_s) {
 
 }  // namespace
 
-int main() {
-  bench::heading("Baseline: 802.11 PSM vs proxy scheduling (video clients)");
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_args(argc, argv);
+  const std::vector<int> fidelities{0, 2, 3};
 
-  std::printf("%-8s %-22s %8s %8s %8s %8s\n", "stream", "policy", "avg%",
-              "min%", "max%", "loss%");
-  for (int fidelity : {0, 2, 3}) {
-    const auto psm = run_psm(10, fidelity, 140.0);
-    std::printf("%-8s %-22s %8.1f %8.1f %8.1f %8.2f\n",
-                exp::role_name(fidelity).c_str(), "802.11 PSM (100ms)",
-                psm.avg_saved, psm.min_saved, psm.max_saved, psm.avg_loss);
-
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(10, fidelity);
-    cfg.policy = exp::IntervalPolicy::Fixed500;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    const auto res = exp::run_scenario(cfg);
-    const auto s = exp::summarize_all(res.clients);
-    std::printf("%-8s %-22s %8.1f %8.1f %8.1f %8.2f\n",
-                exp::role_name(fidelity).c_str(), "proxy schedule (500ms)",
-                s.avg, s.min, s.max, exp::average_loss_pct(res.clients));
+  std::vector<exp::sweep::Item> items;
+  for (int fidelity : fidelities) {
+    items.push_back(
+        {exp::role_name(fidelity),
+         exp::ScenarioBuilder::fig4(std::vector<int>(10, fidelity),
+                                    exp::IntervalPolicy::Fixed500)
+             .build()});
   }
-  std::printf(
-      "\nPSM wakes for every beacon and stays up through the whole drain of "
-      "its parked\nframes; for continuous media the TIM bit is always set, "
-      "so it approximates a\n100 ms schedule without the proxy's burst "
-      "shaping — which is why the paper\nbuilds the proxy instead.\n");
-  return 0;
+  const auto sweep = bench::run_battery(items, opts);
+
+  bench::Report rep{
+      "Baseline: 802.11 PSM vs proxy scheduling (video clients)"};
+  auto& sec = rep.section();
+  for (std::size_t i = 0; i < fidelities.size(); ++i) {
+    const auto psm = run_psm(10, fidelities[i], 140.0);
+    sec.row()
+        .cell("stream", exp::role_name(fidelities[i]))
+        .cell("policy", "802.11 PSM (100ms)")
+        .cell("avg%", psm.avg_saved, 1)
+        .cell("min%", psm.min_saved, 1)
+        .cell("max%", psm.max_saved, 1)
+        .cell("loss%", psm.avg_loss, 2);
+    const auto& clients = sweep.outcomes[i].record.clients;
+    const auto s = exp::summarize_all(clients);
+    sec.row()
+        .cell("stream", exp::role_name(fidelities[i]))
+        .cell("policy", "proxy schedule (500ms)")
+        .cell("avg%", s.avg, 1)
+        .cell("min%", s.min, 1)
+        .cell("max%", s.max, 1)
+        .cell("loss%", exp::average_loss_pct(clients), 2);
+  }
+  rep.note(
+      "PSM wakes for every beacon and stays up through the whole drain of "
+      "its parked frames; for continuous media the TIM bit is always set, "
+      "so it approximates a 100 ms schedule without the proxy's burst "
+      "shaping — which is why the paper builds the proxy instead.");
+  return bench::emit(rep, opts);
 }

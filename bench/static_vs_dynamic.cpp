@@ -7,58 +7,55 @@
 // identical streams (100 ms interval, ten clients at 56/256/512K); the
 // dynamic schedule wins once fidelities differ, averaging ~69% on the
 // mixed patterns.
-#include <cstdio>
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-#include "bench_util.hpp"
-
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading("Static vs dynamic schedules (ten clients, 100 ms)");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
-  std::vector<std::string> labels;
+  std::vector<exp::sweep::Item> items;
   for (int fidelity : {0, 2, 3}) {
     for (auto policy : {exp::IntervalPolicy::StaticEqual100,
                         exp::IntervalPolicy::Fixed100}) {
-      exp::ScenarioConfig cfg;
-      cfg.roles = std::vector<int>(10, fidelity);
-      cfg.policy = policy;
-      cfg.seed = 42;
-      cfg.duration_s = 140.0;
-      cfgs.push_back(cfg);
-      labels.push_back(exp::role_name(fidelity) + "/" +
-                       (policy == exp::IntervalPolicy::StaticEqual100
-                            ? "static"
-                            : "dynamic"));
+      const std::string label =
+          exp::role_name(fidelity) + "/" +
+          (policy == exp::IntervalPolicy::StaticEqual100 ? "static"
+                                                         : "dynamic");
+      items.push_back(
+          {label, exp::ScenarioBuilder::fig4(std::vector<int>(10, fidelity),
+                                             policy)
+                      .build()});
     }
   }
   // Heterogeneous pattern: static equal slots waste bandwidth here.
   for (auto policy : {exp::IntervalPolicy::StaticEqual100,
                       exp::IntervalPolicy::Fixed100}) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = {0, 0, 0, 0, 0, 3, 3, 3, 3, 3};
-    cfg.policy = policy;
-    cfg.seed = 42;
-    cfg.duration_s = 140.0;
-    cfgs.push_back(cfg);
-    labels.push_back(std::string("56K_512K/") +
-                     (policy == exp::IntervalPolicy::StaticEqual100
-                          ? "static"
-                          : "dynamic"));
+    const std::string label =
+        std::string("56K_512K/") +
+        (policy == exp::IntervalPolicy::StaticEqual100 ? "static" : "dynamic");
+    items.push_back(
+        {label, exp::ScenarioBuilder::fig4({0, 0, 0, 0, 0, 3, 3, 3, 3, 3},
+                                           policy)
+                    .build()});
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  std::printf("%-18s %8s %8s %8s %9s %8s\n", "pattern/policy", "avg%",
-              "min%", "max%", "spread", "loss%");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto s = exp::summarize_all(results[i].clients);
-    std::printf("%-18s %8.1f %8.1f %8.1f %9.1f %8.2f\n", labels[i].c_str(),
-                s.avg, s.min, s.max, s.max - s.min,
-                exp::average_loss_pct(results[i].clients));
+  bench::Report rep{"Static vs dynamic schedules (ten clients, 100 ms)"};
+  auto& sec = rep.section();
+  for (const auto& oc : sweep.outcomes) {
+    const auto s = exp::summarize_all(oc.record.clients);
+    sec.row()
+        .cell("pattern/policy", oc.label)
+        .cell("avg%", s.avg, 1)
+        .cell("min%", s.min, 1)
+        .cell("max%", s.max, 1)
+        .cell("spread", s.max - s.min, 1)
+        .cell("loss%", exp::average_loss_pct(oc.record.clients), 2);
   }
-  std::printf(
-      "\npaper: static improves identical-fidelity streams (no schedule "
-      "reception),\nbut the dynamic schedule handles mixed fidelities "
-      "seamlessly.\n");
-  return 0;
+  rep.note(
+      "paper: static improves identical-fidelity streams (no schedule "
+      "reception), but the dynamic schedule handles mixed fidelities "
+      "seamlessly.");
+  return bench::emit(rep, opts);
 }

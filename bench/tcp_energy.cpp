@@ -3,40 +3,50 @@
 //
 // Paper reference: clients save between 70 and 80% versus a naive client,
 // for all three burst-interval policies, with lower variance than video.
-#include "bench_util.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pp;
-  bench::heading(
-      "Multiple TCP clients: ten web-browsing clients, energy saved");
+  const auto opts = bench::parse_args(argc, argv);
 
-  std::vector<exp::ScenarioConfig> cfgs;
+  std::vector<exp::sweep::Item> items;
   std::vector<std::string> labels;
-  for (const auto& [iname, policy] : bench::dynamic_intervals()) {
-    exp::ScenarioConfig cfg;
-    cfg.roles = std::vector<int>(10, exp::kRoleWeb);
-    cfg.policy = policy;
-    cfg.seed = 7;
-    cfg.duration_s = 140.0;
-    cfgs.push_back(cfg);
+  for (const auto& [iname, policy] : exp::presets::dynamic_intervals()) {
+    items.push_back({"webx10/" + iname, exp::ScenarioBuilder{}
+                                            .web(10)
+                                            .policy(policy)
+                                            .seed(7)
+                                            .duration_s(140.0)
+                                            .build()});
     labels.push_back(iname);
   }
-  const auto results = bench::run_batch(cfgs);
+  const auto sweep = bench::run_battery(items, opts);
 
-  bench::row_header();
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    bench::print_row("web x10", labels[i],
-                     exp::summarize_all(results[i].clients),
-                     exp::average_loss_pct(results[i].clients), "70-80");
+  bench::Report rep{
+      "Multiple TCP clients: ten web-browsing clients, energy saved"};
+  auto& sec = rep.section();
+  for (std::size_t i = 0; i < sweep.outcomes.size(); ++i) {
+    const auto& clients = sweep.outcomes[i].record.clients;
+    const auto s = exp::summarize_all(clients);
+    sec.row()
+        .cell("pattern", "web x10")
+        .cell("interval", labels[i])
+        .cell("avg%", s.avg, 1)
+        .cell("min%", s.min, 1)
+        .cell("max%", s.max, 1)
+        .cell("loss%", exp::average_loss_pct(clients), 2)
+        .cell("paper-avg%", "70-80");
   }
 
-  std::printf("\nper-client detail (500 ms):\n");
-  for (const auto& c : results[1].clients) {
-    std::printf(
-        "  %-12s saved=%5.1f%% pages=%2d mean-page-time=%6.0f ms "
-        "bytes=%llu\n",
-        c.ip.str().c_str(), c.saved_pct, c.pages_completed, c.page_time_ms,
-        static_cast<unsigned long long>(c.app_bytes));
+  auto& detail = rep.section("per-client detail (500 ms)");
+  for (const auto& c : sweep.outcomes[1].record.clients) {
+    detail.row()
+        .cell("client", c.ip.str())
+        .cell("saved%", c.saved_pct, 1)
+        .cell("pages", c.pages_completed)
+        .cell("mean-page-ms", c.page_time_ms, 0)
+        .cell("bytes", c.app_bytes);
   }
-  return 0;
+  return bench::emit(rep, opts);
 }

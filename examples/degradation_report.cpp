@@ -10,9 +10,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
-#include "exp/scenario.hpp"
+#include "bench/battery.hpp"
+#include "exp/builder.hpp"
 #include "fault/spec.hpp"
 #include "obs/export.hpp"
 
@@ -93,32 +96,26 @@ void render_strip(const std::vector<obs::TimelineEvent>& events,
 int main(int argc, char** argv) {
   const double duration_s = argc > 1 ? std::atof(argv[1]) : 40.0;
 
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, 1, 2, exp::kRoleWeb};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 7;
-  cfg.duration_s = duration_s;
-  cfg.wireless_p_loss = 0.0;
-  cfg.keep_obs = true;
-  // The hardening under test.
-  cfg.schedule_repeats = 2;
-  cfg.miss_escalation = true;
-  // The fault battery: correlated corruption all run long, plus one window
-  // of each typed fault.
-  cfg.fault.ge.enabled = true;
-  cfg.fault.ge.p_good_bad = 0.01;
-  cfg.fault.ge.p_bad_good = 0.02;
-  cfg.fault.ge.loss_bad = 0.9;
-  cfg.fault.fade(exp::testbed_client_ip(0), sim::Time::seconds(8.0),
-                 sim::Time::ms(1800));
-  cfg.fault.ap_stall(sim::Time::seconds(16.0), sim::Time::ms(900));
-  cfg.fault.link_flap(sim::Time::seconds(24.0), sim::Time::ms(500));
-  cfg.fault.proxy_pause(sim::Time::seconds(31.0), sim::Time::ms(1200));
+  // The hostile everything-at-once preset: GE corruption plus one window
+  // of every typed fault, hardening (k=2 repeats, escalation) on.  The
+  // scenario keeps its observer, so the sweep engine always runs it live
+  // and hands back the full result, timeline included.
+  auto opts = pp::bench::parse_args(argc, argv);
+  opts.progress = false;
+  std::vector<exp::sweep::Item> items;
+  try {
+    items.push_back(
+        {"degradation", exp::ScenarioBuilder::degradation(duration_s).build()});
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("running %.0f s faulted scenario (3 video + 1 web, k=2 "
               "repeats, escalation on)...\n",
               duration_s);
-  const auto res = exp::run_scenario(cfg);
+  const auto sweep = pp::bench::run_battery(items, opts);
+  const auto& res = *sweep.outcomes[0].live;
   if (!res.obs) {
     std::fprintf(stderr,
                  "no observer attached (built with PP_OBS_DISABLED?)\n");

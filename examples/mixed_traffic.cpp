@@ -9,26 +9,28 @@
 #include <cstring>
 #include <string>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 
 int main(int argc, char** argv) {
   using namespace pp;
 
   const std::string interval = argc > 1 ? argv[1] : "500";
-  exp::ScenarioConfig cfg;
-  // 4 video clients of mixed fidelity, 3 web browsers, 1 ftp download.
-  cfg.roles = {0, 1, 2, 3, exp::kRoleWeb, exp::kRoleWeb, exp::kRoleWeb,
-               exp::kRoleFtp};
+  exp::IntervalPolicy policy = exp::IntervalPolicy::Fixed500;
   if (interval == "var") {
-    cfg.policy = exp::IntervalPolicy::Variable;
+    policy = exp::IntervalPolicy::Variable;
   } else if (interval == "100") {
-    cfg.policy = exp::IntervalPolicy::Fixed100;
-  } else {
-    cfg.policy = exp::IntervalPolicy::Fixed500;
+    policy = exp::IntervalPolicy::Fixed100;
   }
-  cfg.seed = 9;
-  cfg.duration_s = 140.0;
-  cfg.ftp_bytes = 2'000'000;
+  // 4 video clients of mixed fidelity, 3 web browsers, 1 ftp download.
+  const exp::ScenarioConfig cfg =
+      exp::ScenarioBuilder{}
+          .roles({0, 1, 2, 3, exp::kRoleWeb, exp::kRoleWeb, exp::kRoleWeb,
+                  exp::kRoleFtp})
+          .policy(policy)
+          .seed(9)
+          .duration_s(140.0)
+          .ftp_bytes(2'000'000)
+          .build();
 
   std::printf("mixed traffic (4 video + 3 web + 1 ftp), %s interval\n",
               exp::policy_name(cfg.policy).c_str());

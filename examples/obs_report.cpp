@@ -13,10 +13,11 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -92,12 +93,19 @@ int main(int argc, char** argv) {
   const std::string prefix = argc > 2 ? argv[2] : "obs_report";
 
   exp::ScenarioConfig cfg;
-  cfg.roles = {0, 2, exp::kRoleWeb, exp::kRoleFtp};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 11;
-  cfg.duration_s = duration_s;
-  cfg.ftp_bytes = 1'000'000;
-  cfg.keep_obs = true;
+  try {
+    cfg = exp::ScenarioBuilder{}
+              .roles({0, 2, exp::kRoleWeb, exp::kRoleFtp})
+              .policy(exp::IntervalPolicy::Fixed500)
+              .seed(11)
+              .duration_s(duration_s)
+              .ftp_bytes(1'000'000)
+              .keep_obs()
+              .build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("running %.0f s mixed scenario (2 video + 1 web + 1 ftp)...\n",
               duration_s);

@@ -3,16 +3,19 @@
 // WNIC energy the schedule saved versus a naive always-on client.
 #include <cstdio>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 
 int main() {
   using namespace pp;
 
-  exp::ScenarioConfig cfg;
-  cfg.roles = {0};  // one client, 56K video (fidelity index 0)
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 42;
-  cfg.duration_s = 130.0;
+  // One client, 56K video (fidelity index 0); the builder validates the
+  // configuration and returns the immutable ScenarioConfig.
+  const exp::ScenarioConfig cfg = exp::ScenarioBuilder{}
+                                      .video(1, 0)
+                                      .policy(exp::IntervalPolicy::Fixed500)
+                                      .seed(42)
+                                      .duration_s(130.0)
+                                      .build();
 
   std::printf("powerproxy quickstart: 1 client, 56 kbps video, 500 ms bursts\n");
   const exp::ScenarioResult res = exp::run_scenario(cfg);

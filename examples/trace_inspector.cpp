@@ -7,7 +7,7 @@
 #include <iostream>
 #include <string>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 #include "trace/io.hpp"
 #include "trace/postmortem.hpp"
 
@@ -15,12 +15,13 @@ int main(int argc, char** argv) {
   using namespace pp;
   const std::string path = argc > 1 ? argv[1] : "/tmp/powerproxy.pptrace";
 
-  exp::ScenarioConfig cfg;
-  cfg.roles = {0, 2, exp::kRoleWeb};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.seed = 5;
-  cfg.duration_s = 60.0;
-  cfg.keep_trace = true;
+  const exp::ScenarioConfig cfg = exp::ScenarioBuilder{}
+                                      .roles({0, 2, exp::kRoleWeb})
+                                      .policy(exp::IntervalPolicy::Fixed500)
+                                      .seed(5)
+                                      .duration_s(60.0)
+                                      .keep_trace()
+                                      .build();
 
   std::printf("running a 60 s mixed scenario and capturing the trace...\n");
   const auto res = exp::run_scenario(cfg);

@@ -10,9 +10,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 #include "workload/video.hpp"
 
 int main(int argc, char** argv) {
@@ -22,17 +23,24 @@ int main(int argc, char** argv) {
   const int nominal = argc > 2 ? std::atoi(argv[2]) : 256;
   const std::string interval = argc > 3 ? argv[3] : "500";
 
-  exp::ScenarioConfig cfg;
-  cfg.roles = std::vector<int>(clients, workload::fidelity_index(nominal));
+  exp::IntervalPolicy policy = exp::IntervalPolicy::Fixed500;
   if (interval == "var") {
-    cfg.policy = exp::IntervalPolicy::Variable;
+    policy = exp::IntervalPolicy::Variable;
   } else if (interval == "100") {
-    cfg.policy = exp::IntervalPolicy::Fixed100;
-  } else {
-    cfg.policy = exp::IntervalPolicy::Fixed500;
+    policy = exp::IntervalPolicy::Fixed100;
   }
-  cfg.seed = 1;
-  cfg.duration_s = 140.0;
+  exp::ScenarioConfig cfg;
+  try {
+    cfg = exp::ScenarioBuilder{}
+              .video(clients, workload::fidelity_index(nominal))
+              .policy(policy)
+              .seed(1)
+              .duration_s(140.0)
+              .build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("streaming %dx %dK video, %s burst interval\n", clients,
               nominal, exp::policy_name(cfg.policy).c_str());

@@ -6,8 +6,9 @@
 // Usage: web_browsing [num_clients] [pages]
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
-#include "exp/scenario.hpp"
+#include "exp/builder.hpp"
 
 int main(int argc, char** argv) {
   using namespace pp;
@@ -16,11 +17,18 @@ int main(int argc, char** argv) {
   const int pages = argc > 2 ? std::atoi(argv[2]) : 15;
 
   exp::ScenarioConfig cfg;
-  cfg.roles = std::vector<int>(clients, exp::kRoleWeb);
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.web_pages = pages;
-  cfg.seed = 3;
-  cfg.duration_s = 150.0;
+  try {
+    cfg = exp::ScenarioBuilder{}
+              .web(clients)
+              .policy(exp::IntervalPolicy::Fixed500)
+              .web_pages(pages)
+              .seed(3)
+              .duration_s(150.0)
+              .build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("%d clients browsing %d pages each, 500 ms burst interval\n",
               clients, pages);

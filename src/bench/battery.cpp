@@ -1,0 +1,68 @@
+#include "bench/battery.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pp::bench {
+
+BatteryOptions parse_args(int argc, char** argv) {
+  BatteryOptions opts;
+  if (const char* env = std::getenv("PP_BENCH_JSON"); env && *env &&
+      std::strcmp(env, "0") != 0) {
+    opts.json = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--cache-dir=", 12) == 0) {
+      opts.cache_dir = a + 12;
+    } else if (std::strcmp(a, "--no-cache") == 0) {
+      opts.use_cache = false;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      opts.threads = static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
+    } else if (std::strcmp(a, "--json") == 0) {
+      opts.json = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      opts.progress = false;
+    }
+  }
+  return opts;
+}
+
+exp::sweep::SweepResult run_battery(const std::vector<exp::sweep::Item>& items,
+                                    const BatteryOptions& opts) {
+  exp::sweep::Options so;
+  so.threads = opts.threads;
+  so.cache_dir = opts.cache_dir;
+  so.use_cache = opts.use_cache;
+  if (opts.progress) {
+    so.on_progress = [](const exp::sweep::Progress& p) {
+      std::fprintf(stderr, "\r[sweep] %zu/%zu done (%zu cached)", p.done,
+                   p.total, p.hits);
+      if (p.done < p.total && p.eta_s > 0) {
+        std::fprintf(stderr, " eta %.1fs", p.eta_s);
+      }
+      std::fflush(stderr);
+    };
+  }
+  auto result = exp::sweep::run(items, so);
+  if (opts.progress) {
+    std::fprintf(stderr,
+                 "\r[sweep] %zu items: %zu cache hits, %zu runs, %zu "
+                 "uncacheable, %.2fs\n",
+                 result.stats.total, result.stats.hits, result.stats.misses,
+                 result.stats.uncacheable, result.stats.elapsed_s);
+  }
+  return result;
+}
+
+int emit(const Report& rep, const BatteryOptions& opts) {
+  if (opts.json) {
+    std::printf("%s\n", rep.json().c_str());
+  } else {
+    rep.print();
+  }
+  return 0;
+}
+
+}  // namespace pp::bench

@@ -188,8 +188,12 @@ void PowerDaemon::begin_wait(State next, std::size_t entry_idx) {
       entry_idx < my_entries_.size()) {
     const auto& e = my_entries_[entry_idx];
     const sim::Time slot_end = anchor_ + e.rp_offset + e.duration;
-    slot_timer_ =
-        sim_.at(slot_end + cfg_.slot_end_grace, [this] { on_slot_end(); });
+    // A late wake (sleep_until clamps the wake to `now`) can land past the
+    // slot's end; fire the slot-end handler immediately rather than
+    // scheduling into the past.
+    sim::Time fire = slot_end + cfg_.slot_end_grace;
+    if (fire < sim_.now()) fire = sim_.now();
+    slot_timer_ = sim_.at(fire, [this] { on_slot_end(); });
   }
 }
 

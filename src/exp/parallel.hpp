@@ -1,9 +1,22 @@
-// Parallel experiment fan-out.
+// Parallel experiment fan-out with work stealing.
 //
 // Each scenario runs in its own Simulator instance with no shared mutable
-// state, so whole configurations are embarrassingly parallel: a fixed pool
-// of std::jthread workers pulls indices from an atomic counter.  Results
-// land in order, so output is deterministic regardless of thread timing.
+// state, so whole configurations are embarrassingly parallel.  Scenario
+// durations vary wildly across a battery (a 400 s ftp ablation next to a
+// 60 s loss sweep), so a single shared counter leaves late workers idle
+// behind one long task queue.  Instead every worker owns a deque of task
+// indices, seeded in contiguous blocks; a worker pops from the front of
+// its own deque and, when empty, steals from the *back* of a victim's, so
+// thieves take the work farthest from the owner's current position.
+// Results still land at their original indices, so output is deterministic
+// regardless of thread timing or steal order.
+//
+// Thread-count resolution (resolve_threads):
+//   1. an explicit `threads` argument wins (tests pin exact widths);
+//   2. else the PP_THREADS environment variable, when a positive integer;
+//   3. else 1 under tsan/asan builds (sanitized CI runners are 2-core
+//      machines that a hardware_concurrency-wide pool oversubscribes);
+//   4. else std::thread::hardware_concurrency().
 //
 // Exception safety: a task that throws must not let the exception escape
 // the worker thread (that would std::terminate the process).  The first
@@ -14,41 +27,119 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define PP_EXP_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define PP_EXP_SANITIZED 1
+#endif
+#endif
+#ifndef PP_EXP_SANITIZED
+#define PP_EXP_SANITIZED 0
+#endif
+
 namespace pp::exp {
 
-// Run tasks[i]() for every i, `threads`-wide; returns results in order.
-// If any task throws, the first exception (by completion order) is
-// rethrown here after all workers have joined.
+inline constexpr bool kSanitizedBuild = PP_EXP_SANITIZED != 0;
+
+// Number of workers a run_parallel call will actually use (see the
+// resolution order in the header comment).  Exposed so callers and tests
+// can predict pool width.
+inline unsigned resolve_threads(unsigned requested, std::size_t n_tasks) {
+  unsigned t = requested;
+  if (t == 0) {
+    if (const char* env = std::getenv("PP_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) t = static_cast<unsigned>(v);
+    }
+  }
+  if (t == 0) {
+    t = kSanitizedBuild ? 1u : std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::min<unsigned>(t, static_cast<unsigned>(n_tasks ? n_tasks : 1));
+}
+
+// Run tasks[i]() for every i; returns results in order.  `on_done(done,
+// total)` — when provided — is invoked after each task completes, under an
+// internal mutex (callbacks are serialized and may aggregate freely).  If
+// any task throws, the first exception (by completion order) is rethrown
+// here after all workers have joined.
 template <typename Result>
 std::vector<Result> run_parallel(
-    const std::vector<std::function<Result()>>& tasks, unsigned threads = 0) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min<unsigned>(threads,
-                               static_cast<unsigned>(tasks.size() ? tasks.size() : 1));
+    const std::vector<std::function<Result()>>& tasks, unsigned threads = 0,
+    const std::function<void(std::size_t, std::size_t)>& on_done = {}) {
+  threads = resolve_threads(threads, tasks.size());
   std::vector<Result> results(tasks.size());
-  std::atomic<std::size_t> next{0};
+
+  // Per-worker deques: owner pops the front, thieves pop the back.  A
+  // plain mutex per deque is plenty here — tasks are whole simulations,
+  // milliseconds to minutes each, so queue traffic is negligible.
+  struct StealQueue {
+    std::mutex mu;
+    std::deque<std::size_t> dq;
+  };
+  std::vector<std::unique_ptr<StealQueue>> queues;
+  queues.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    queues.push_back(std::make_unique<StealQueue>());
+  }
+  // Contiguous block seeding keeps each worker near its original range, so
+  // with evenly-sized tasks stealing is rare and order of execution stays
+  // close to index order.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    queues[i * threads / tasks.size()]->dq.push_back(i);
+  }
+
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
+  std::size_t done = 0;
+  std::mutex done_mu;
   {
     std::vector<std::jthread> pool;
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
+      pool.emplace_back([&, t] {
         for (;;) {
           if (failed.load(std::memory_order_relaxed)) return;
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= tasks.size()) return;
+          std::size_t i = 0;
+          bool got = false;
+          {
+            StealQueue& own = *queues[t];
+            const std::lock_guard<std::mutex> lock{own.mu};
+            if (!own.dq.empty()) {
+              i = own.dq.front();
+              own.dq.pop_front();
+              got = true;
+            }
+          }
+          for (unsigned k = 1; !got && k < threads; ++k) {
+            StealQueue& victim = *queues[(t + k) % threads];
+            const std::lock_guard<std::mutex> lock{victim.mu};
+            if (!victim.dq.empty()) {
+              i = victim.dq.back();
+              victim.dq.pop_back();
+              got = true;
+            }
+          }
+          // No queue ever refills, so empty-everywhere means every index
+          // has been claimed (possibly still executing on another worker).
+          if (!got) return;
           try {
             results[i] = tasks[i]();
+            if (on_done) {
+              const std::lock_guard<std::mutex> lock{done_mu};
+              on_done(++done, tasks.size());
+            }
           } catch (...) {
             const std::lock_guard<std::mutex> lock{error_mu};
             if (!first_error) first_error = std::current_exception();

@@ -1,0 +1,71 @@
+// The content-addressed on-disk result cache.
+//
+// A RunRecord is the serializable projection of a ScenarioResult: every
+// client metric, the proxy/fault/AP counters, the horizon, and the run's
+// replay digest.  It deliberately excludes the wireless trace and the
+// observer snapshot — configs that retain those are not cacheable (see
+// sweep::cacheable) and always run live.
+//
+// Round-trip exactness is the cache's core contract: doubles serialize as
+// hexfloat, so a record read back from disk is bit-identical to the one
+// stored, and anything rendered from it (tables, JSON) is byte-identical
+// between a cold and a warm run.
+//
+// On disk, one file per key: `<dir>/<hex16>.ppr`, containing a version
+// line, the full canonical config text (collision guard: a 64-bit key hit
+// with mismatched config text is treated as a miss), and the record.
+// Writes go to a `.tmp` sibling then rename(2) into place, so concurrent
+// sweeps — in-process workers or separate processes — never observe a
+// torn entry.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "exp/scenario.hpp"
+
+namespace pp::exp::sweep {
+
+struct RunRecord {
+  std::vector<ClientResult> clients;
+  proxy::ProxyStats proxy_stats{};
+  fault::FaultStats fault_stats{};
+  // pp-lint: allow(naked-duration): serialized wire-format field
+  std::int64_t horizon_ns = 0;
+  std::uint64_t ap_drops = 0;
+  std::uint64_t frames_on_air = 0;
+  // Replay digest of the run's observer state (0 when observability is
+  // compiled out); equal digests mean bit-identical runs.
+  std::uint64_t digest = 0;
+
+  sim::Time horizon() const { return sim::Time::ns(horizon_ns); }
+};
+
+// Project the cache-safe part of a live result.
+RunRecord make_record(const ScenarioResult& res, std::uint64_t digest);
+
+void write_record(std::ostream& os, const RunRecord& r);
+// Returns false (out untouched beyond partial fill) on malformed input.
+bool read_record(std::istream& is, RunRecord& out);
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) on first store; lookups on a missing
+  // directory simply miss.
+  explicit ResultCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // `canonical` is the full canonical_config text of the probed config.
+  std::optional<RunRecord> lookup(std::uint64_t key,
+                                  const std::string& canonical) const;
+  void store(std::uint64_t key, const std::string& canonical,
+             const RunRecord& r) const;
+
+ private:
+  std::string entry_path(std::uint64_t key) const;
+  std::string dir_;
+};
+
+}  // namespace pp::exp::sweep

@@ -1,0 +1,137 @@
+#include "exp/sweep/key.hpp"
+
+#include <cstdio>
+
+namespace pp::exp::sweep {
+
+namespace {
+
+// Append "name=value\n".  Doubles use hexfloat ("%a"): exact, locale-free,
+// and stable across compilers for the same bit pattern.
+void put(std::string& out, const char* name, const std::string& v) {
+  out += name;
+  out += '=';
+  out += v;
+  out += '\n';
+}
+
+void put_u64(std::string& out, const char* name, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  put(out, name, buf);
+}
+
+void put_i64(std::string& out, const char* name, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  put(out, name, buf);
+}
+
+void put_f(std::string& out, const char* name, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  put(out, name, buf);
+}
+
+void put_b(std::string& out, const char* name, bool v) {
+  put(out, name, v ? "1" : "0");
+}
+
+}  // namespace
+
+std::string canonical_config(const ScenarioConfig& cfg) {
+  std::string out;
+  out.reserve(1024);
+  out += "ppsweep-config v1\n";
+  {
+    std::string roles;
+    for (const int r : cfg.roles) {
+      if (!roles.empty()) roles += ',';
+      roles += std::to_string(r);
+    }
+    put(out, "roles", roles);
+  }
+  put_i64(out, "policy", static_cast<std::int64_t>(cfg.policy));
+  put_u64(out, "seed", cfg.seed);
+  put_i64(out, "early_transition_ns", cfg.early_transition.count_ns());
+  put_i64(out, "compensation", static_cast<std::int64_t>(cfg.compensation));
+  put_f(out, "slotted_tcp_weight", cfg.slotted_tcp_weight);
+  put_i64(out, "proxy_mode", static_cast<std::int64_t>(cfg.proxy_mode));
+  put_f(out, "cost_model_scale", cfg.cost_model_scale);
+  put_b(out, "honor_reuse", cfg.honor_reuse);
+  put_b(out, "naive_clients", cfg.naive_clients);
+  put_f(out, "duration_s", cfg.duration_s);
+  put_f(out, "video_start_s", cfg.video_start_s);
+  put_f(out, "video_spacing_s", cfg.video_spacing_s);
+  put_u64(out, "ftp_bytes", cfg.ftp_bytes);
+  put_i64(out, "web_pages", cfg.web_pages);
+  put_f(out, "web_think_mean_s", cfg.web_think_mean_s);
+  put_b(out, "keep_trace", cfg.keep_trace);
+  put_b(out, "keep_obs", cfg.keep_obs);
+  put_f(out, "wireless_p_loss", cfg.wireless_p_loss);
+  put_b(out, "wireless_override", cfg.wireless.has_value());
+  if (cfg.wireless) {
+    const net::WirelessParams& w = *cfg.wireless;
+    put_f(out, "wireless.rate_bps", w.rate_bps);
+    put_f(out, "wireless.broadcast_rate_bps", w.broadcast_rate_bps);
+    put_i64(out, "wireless.per_frame_overhead_ns",
+            w.per_frame_overhead.count_ns());
+    put_i64(out, "wireless.propagation_ns", w.propagation.count_ns());
+    put_f(out, "wireless.p_loss", w.p_loss);
+    put_u64(out, "wireless.mac_framing_bytes", w.mac_framing_bytes);
+  }
+  put_b(out, "ap_override", cfg.ap.has_value());
+  if (cfg.ap) {
+    const net::AccessPointParams& a = *cfg.ap;
+    put_i64(out, "ap.base_delay_ns", a.base_delay.count_ns());
+    put_i64(out, "ap.jitter_max_ns", a.jitter_max.count_ns());
+    put_f(out, "ap.p_spike", a.p_spike);
+    put_i64(out, "ap.spike_max_ns", a.spike_max.count_ns());
+    put_u64(out, "ap.queue_limit_bytes", a.queue_limit_bytes);
+  }
+  put_b(out, "video_adaptive", cfg.video_adaptive);
+  put_b(out, "fault.ge.enabled", cfg.fault.ge.enabled);
+  put_f(out, "fault.ge.p_good_bad", cfg.fault.ge.p_good_bad);
+  put_f(out, "fault.ge.p_bad_good", cfg.fault.ge.p_bad_good);
+  put_f(out, "fault.ge.loss_good", cfg.fault.ge.loss_good);
+  put_f(out, "fault.ge.loss_bad", cfg.fault.ge.loss_bad);
+  put_u64(out, "fault.windows", cfg.fault.windows.size());
+  for (const auto& w : cfg.fault.windows) {
+    std::string line = std::to_string(static_cast<int>(w.kind)) + ',' +
+                       std::to_string(w.client.raw()) + ',' +
+                       std::to_string(w.start.count_ns()) + ',' +
+                       std::to_string(w.duration.count_ns());
+    put(out, "fault.window", line);
+  }
+  put_i64(out, "schedule_repeats", cfg.schedule_repeats);
+  put_i64(out, "schedule_repeat_spacing_ns",
+          cfg.schedule_repeat_spacing.count_ns());
+  put_b(out, "miss_escalation", cfg.miss_escalation);
+  return out;
+}
+
+// Fires when ScenarioConfig grows (or shrinks) on the reference toolchain:
+// extend canonical_config above and bump kCodeVersionSalt, then update the
+// pinned size.  Other ABIs skip the check rather than pin a wrong number.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(ScenarioConfig) == 352,
+              "ScenarioConfig changed: update canonical_config() and bump "
+              "kCodeVersionSalt");
+#endif
+
+std::uint64_t config_key(const ScenarioConfig& cfg, std::uint64_t salt) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, salt);
+  for (const char c : canonical_config(cfg)) {
+    h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  }
+  return h;
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace pp::exp::sweep

@@ -1,0 +1,141 @@
+#include "exp/sweep/sweep.hpp"
+
+// pp-lint: allow(wall-clock): host-side batch ETA only — wall time never
+// enters simulation state, which runs exclusively on sim::Time.
+#include <chrono>
+#include <cstdlib>
+
+#include "exp/digest.hpp"
+#include "exp/parallel.hpp"
+
+namespace pp::exp::sweep {
+
+namespace {
+
+// pp-lint: allow(wall-clock): host-side ETA, see header note
+using WallClock = std::chrono::steady_clock;
+
+struct LiveRun {
+  RunRecord record;
+  std::shared_ptr<ScenarioResult> live;
+};
+
+LiveRun run_live(const ScenarioConfig& cfg) {
+  // Force observer retention so the replay digest comes out of the run we
+  // already paid for (keep_obs only controls end-of-run retention; the
+  // observer is attached either way, so this cannot perturb the result).
+  ScenarioConfig run_cfg = cfg;
+  run_cfg.keep_obs = true;
+  auto res = std::make_shared<ScenarioResult>(run_scenario(run_cfg));
+  const std::uint64_t digest = res->obs ? observer_digest(*res->obs) : 0;
+  if (!cfg.keep_obs) res->obs.reset();  // honor the caller's retention ask
+  return {make_record(*res, digest), std::move(res)};
+}
+
+}  // namespace
+
+std::string default_cache_dir() {
+  if (const char* env = std::getenv("PP_SWEEP_CACHE"); env && *env) {
+    return env;
+  }
+  return ".pp-sweep-cache";
+}
+
+SweepResult run(const std::vector<Item>& items, const Options& opts) {
+  const auto t0 = WallClock::now();
+  const auto elapsed_s = [&t0] {
+    return std::chrono::duration<double>(WallClock::now() - t0).count();
+  };
+
+  SweepResult out;
+  out.outcomes.resize(items.size());
+  out.stats.total = items.size();
+
+  obs::Counter* ctr_runs = nullptr;
+  obs::Counter* ctr_hits = nullptr;
+  obs::Counter* ctr_misses = nullptr;
+  obs::Counter* ctr_uncacheable = nullptr;
+  if (opts.metrics) {
+    ctr_runs = opts.metrics->counter("sweep.runs");
+    ctr_hits = opts.metrics->counter("sweep.cache_hits");
+    ctr_misses = opts.metrics->counter("sweep.cache_misses");
+    ctr_uncacheable = opts.metrics->counter("sweep.uncacheable");
+  }
+
+  const ResultCache cache{opts.cache_dir.empty() ? default_cache_dir()
+                                                 : opts.cache_dir};
+
+  // Pass 1: key every item and resolve cache hits inline (lookups are
+  // cheap file reads; only the misses are worth the pool).
+  struct Pending {
+    std::size_t index;
+    std::string canonical;
+    bool cacheable;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Outcome& oc = out.outcomes[i];
+    oc.label = items[i].label;
+    const std::string canonical = canonical_config(items[i].cfg);
+    oc.key = config_key(items[i].cfg, opts.salt);
+    const bool can_cache = cacheable(items[i].cfg);
+    if (can_cache && opts.use_cache) {
+      if (auto hit = cache.lookup(oc.key, canonical)) {
+        oc.cache_hit = true;
+        oc.record = std::move(*hit);
+        ++out.stats.hits;
+        if (ctr_hits) ctr_hits->inc();
+        continue;
+      }
+    }
+    if (can_cache) {
+      ++out.stats.misses;
+      if (ctr_misses) ctr_misses->inc();
+    } else {
+      ++out.stats.uncacheable;
+      if (ctr_uncacheable) ctr_uncacheable->inc();
+    }
+    pending.push_back({i, canonical, can_cache});
+  }
+
+  const auto report = [&](std::size_t runs_done) {
+    if (!opts.on_progress) return;
+    Progress p;
+    p.total = items.size();
+    p.hits = out.stats.hits;
+    p.done = out.stats.hits + runs_done;
+    p.elapsed_s = elapsed_s();
+    p.eta_s = runs_done > 0
+                  ? p.elapsed_s / static_cast<double>(runs_done) *
+                        static_cast<double>(pending.size() - runs_done)
+                  : 0;
+    opts.on_progress(p);
+  };
+  report(0);
+
+  // Pass 2: the misses, work-stealing wide.
+  std::vector<std::function<LiveRun()>> tasks;
+  tasks.reserve(pending.size());
+  for (const Pending& p : pending) {
+    const ScenarioConfig& cfg = items[p.index].cfg;
+    tasks.emplace_back([&cfg] { return run_live(cfg); });
+  }
+  std::vector<LiveRun> ran = run_parallel(
+      tasks, opts.threads,
+      [&](std::size_t done, std::size_t) { report(done); });
+
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    const Pending& p = pending[j];
+    Outcome& oc = out.outcomes[p.index];
+    oc.record = std::move(ran[j].record);
+    oc.live = std::move(ran[j].live);
+    if (ctr_runs) ctr_runs->inc();
+    if (p.cacheable && opts.use_cache) {
+      cache.store(oc.key, p.canonical, oc.record);
+    }
+  }
+  out.stats.elapsed_s = elapsed_s();
+  return out;
+}
+
+}  // namespace pp::exp::sweep

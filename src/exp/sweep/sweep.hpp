@@ -1,0 +1,96 @@
+// The batch experiment engine: a declarative battery of scenarios, run
+// through the work-stealing pool with content-addressed result caching.
+//
+// Every figure/table in the paper is a grid of ScenarioConfigs; the
+// engine takes that grid as data (a vector of labelled Items), resolves
+// each item against the on-disk cache, runs only the misses — in
+// parallel, stealing across workers — and returns one Outcome per item in
+// input order.  A warm re-run of an unchanged battery is pure cache hits:
+// no simulation executes, and everything rendered from the records is
+// byte-identical to the cold run.
+//
+// Caching is keyed by canonical_config + salt (see key.hpp).  Results
+// that retain a trace or observer are not representable on disk; those
+// items always run live and carry the full ScenarioResult in
+// Outcome::live.
+//
+// Progress lands in two places: the `on_progress` callback (completion
+// counts plus a wall-clock ETA over the remaining live runs) and, when an
+// obs::MetricsRegistry is supplied, the `sweep.*` counters — the same
+// observability surface the simulators use, so exporters and dashboards
+// pick up batch health for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/sweep/cache.hpp"
+#include "exp/sweep/key.hpp"
+#include "obs/metrics.hpp"
+
+namespace pp::exp::sweep {
+
+struct Item {
+  std::string label;  // battery-unique display name
+  ScenarioConfig cfg;
+};
+
+struct Progress {
+  std::size_t done = 0;   // items resolved (hits + finished runs)
+  std::size_t total = 0;  // items in the battery
+  std::size_t hits = 0;   // resolved from cache
+  double elapsed_s = 0;   // wall clock since run() started
+  double eta_s = 0;       // projected time to finish the remaining runs
+};
+
+struct Options {
+  // 0 = resolve via exp::resolve_threads (PP_THREADS, sanitizer cap, hw).
+  unsigned threads = 0;
+  // Cache directory; empty = $PP_SWEEP_CACHE, else ".pp-sweep-cache".
+  std::string cache_dir;
+  bool use_cache = true;
+  std::uint64_t salt = kCodeVersionSalt;
+  // Serialized (never concurrent) progress callback.
+  std::function<void(const Progress&)> on_progress;
+  // Optional: count sweep.runs / sweep.cache_hits / sweep.cache_misses /
+  // sweep.uncacheable into an observability registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct Outcome {
+  std::string label;
+  std::uint64_t key = 0;
+  bool cache_hit = false;
+  RunRecord record;
+  // The full in-memory result, populated only for live runs (always for
+  // uncacheable items, e.g. keep_trace).  Render reports from `record` —
+  // that is what a warm run has.
+  std::shared_ptr<ScenarioResult> live;
+};
+
+struct Stats {
+  std::size_t total = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;       // cacheable items that ran live
+  std::size_t uncacheable = 0;  // keep_trace/keep_obs items (always live)
+  double elapsed_s = 0;
+};
+
+struct SweepResult {
+  std::vector<Outcome> outcomes;  // input order
+  Stats stats;
+};
+
+// Resolve the battery: hits from cache, misses through the work-stealing
+// pool.  Exceptions from run_scenario propagate (first one, after all
+// in-flight work finishes), matching run_parallel semantics.
+SweepResult run(const std::vector<Item>& items, const Options& opts = {});
+
+// The default cache directory for this process (honors $PP_SWEEP_CACHE).
+std::string default_cache_dir();
+
+}  // namespace pp::exp::sweep

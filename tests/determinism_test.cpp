@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "exp/builder.hpp"
 #include "exp/digest.hpp"
 #include "exp/scenario.hpp"
 #include "net/addr.hpp"
@@ -103,15 +104,16 @@ TEST(HashSaltTest, ScopedSaltRestores) {
 // A short mixed scenario: video + web + ftp touches every subsystem the
 // digest folds (schedules, bursts, PSM, TCP splices) in ~seconds of sim
 // time.
-ScenarioConfig short_mixed_config() {
-  ScenarioConfig cfg;
-  cfg.roles = {1, kRoleWeb, kRoleFtp};
-  cfg.policy = IntervalPolicy::Variable;
-  cfg.duration_s = 12.0;
-  cfg.web_pages = 3;
-  cfg.ftp_bytes = 200'000;
-  return cfg;
+ScenarioBuilder short_mixed_builder() {
+  return ScenarioBuilder{}
+      .roles({1, kRoleWeb, kRoleFtp})
+      .policy(IntervalPolicy::Variable)
+      .duration_s(12.0)
+      .web_pages(3)
+      .ftp_bytes(200'000);
 }
+
+ScenarioConfig short_mixed_config() { return short_mixed_builder().build(); }
 
 TEST(DeterminismTest, SameConfigSameSaltSameDigest) {
   const ScenarioConfig cfg = short_mixed_config();
@@ -155,18 +157,17 @@ TEST(DeterminismTest, DigestIsSensitiveToConfig) {
 // stream is named (derived from the run seed, never sim_.rng()), so the
 // hash salt must not leak into any fault draw or recovery path.
 ScenarioConfig faulted_config() {
-  ScenarioConfig cfg = short_mixed_config();
-  cfg.fault.ge.enabled = true;
-  cfg.fault.ge.p_good_bad = 0.02;
-  cfg.fault.ge.p_bad_good = 0.01;  // bad sojourns span multiple SRPs
-  cfg.fault.ge.loss_bad = 0.9;
-  cfg.fault.fade(testbed_client_ip(0), Time::ms(2500), Time::ms(1200));
-  cfg.fault.ap_stall(Time::ms(5000), Time::ms(700));
-  cfg.fault.link_flap(Time::ms(7000), Time::ms(400));
-  cfg.fault.proxy_pause(Time::ms(9000), Time::ms(600));
-  cfg.schedule_repeats = 2;
-  cfg.miss_escalation = true;
-  return cfg;
+  ScenarioBuilder b = short_mixed_builder();
+  auto& f = b.fault_spec();
+  f.ge.enabled = true;
+  f.ge.p_good_bad = 0.02;
+  f.ge.p_bad_good = 0.01;  // bad sojourns span multiple SRPs
+  f.ge.loss_bad = 0.9;
+  f.fade(testbed_client_ip(0), Time::ms(2500), Time::ms(1200));
+  f.ap_stall(Time::ms(5000), Time::ms(700));
+  f.link_flap(Time::ms(7000), Time::ms(400));
+  f.proxy_pause(Time::ms(9000), Time::ms(600));
+  return b.schedule_repeats(2).miss_escalation().build();
 }
 
 TEST(DeterminismTest, FaultedDigestInvariantUnderHashSalt) {

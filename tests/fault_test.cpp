@@ -9,6 +9,7 @@
 
 #include "check/audit.hpp"
 #include "check/check.hpp"
+#include "exp/builder.hpp"
 #include "exp/scenario.hpp"
 #include "exp/testbed.hpp"
 #include "fault/plan.hpp"
@@ -245,13 +246,13 @@ TEST(AuditorFaults, PairedAndNestedWindowsPass) {
 // Section 4.3 analyzes, plus the resync bookkeeping.
 TEST(FaultEndToEnd, DeepFadeCausesMissedSchedulesAndResync) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, 1};  // two 128K video clients
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 10.0;
-  cfg.wireless_p_loss = 0.0;  // fade is the only loss source
-  cfg.fault.fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1200));
-  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  exp::ScenarioBuilder b;
+  b.video(2, 1)  // two 128K video clients
+      .policy(exp::IntervalPolicy::Fixed500)
+      .duration_s(10.0)
+      .wireless_p_loss(0.0);  // fade is the only loss source
+  b.fault_spec().fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1200));
+  const exp::ScenarioResult res = exp::run_scenario(b.build());
 
   const exp::ClientResult& faded = res.clients[0];
   const exp::ClientResult& clean = res.clients[1];
@@ -272,17 +273,16 @@ TEST(FaultEndToEnd, DeepFadeCausesMissedSchedulesAndResync) {
 // escalated sleeps.
 TEST(FaultEndToEnd, EscalationConvertsMissedWaitIntoSleep) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig base;
-  base.roles = {1, 1};
-  base.policy = exp::IntervalPolicy::Fixed500;
-  base.duration_s = 10.0;
-  base.wireless_p_loss = 0.0;
-  base.fault.fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1700));
+  exp::ScenarioBuilder b;
+  b.video(2, 1)
+      .policy(exp::IntervalPolicy::Fixed500)
+      .duration_s(10.0)
+      .wireless_p_loss(0.0);
+  b.fault_spec().fade(exp::testbed_client_ip(0), Time::ms(950), Time::ms(1700));
 
-  exp::ScenarioConfig esc = base;
-  esc.miss_escalation = true;
-  const exp::ScenarioResult r_base = exp::run_scenario(base);
-  const exp::ScenarioResult r_esc = exp::run_scenario(esc);
+  const exp::ScenarioResult r_base = exp::run_scenario(b.build());
+  const exp::ScenarioResult r_esc =
+      exp::run_scenario(b.miss_escalation().build());
   // Baseline counts one miss and burns the outage awake; escalation re-arms
   // per expected SRP (so it counts repeat misses) and sleeps the intervals.
   EXPECT_EQ(r_base.clients[0].escalated_sleeps, 0u);
@@ -297,12 +297,10 @@ TEST(FaultEndToEnd, EscalationConvertsMissedWaitIntoSleep) {
 
 TEST(FaultEndToEnd, ApStallWindowPreservesConservation) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, exp::kRoleWeb};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 10.0;
-  cfg.fault.ap_stall(Time::ms(2000), Time::ms(800));
-  const exp::ScenarioResult res = exp::run_scenario(cfg);  // audits inside
+  exp::ScenarioBuilder b;
+  b.video(1, 1).web(1).policy(exp::IntervalPolicy::Fixed500).duration_s(10.0);
+  b.fault_spec().ap_stall(Time::ms(2000), Time::ms(800));
+  const exp::ScenarioResult res = exp::run_scenario(b.build());  // audits inside
   EXPECT_EQ(res.fault_stats.windows_activated, 1u);
   EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
   // Traffic kept flowing after recovery.
@@ -311,12 +309,10 @@ TEST(FaultEndToEnd, ApStallWindowPreservesConservation) {
 
 TEST(FaultEndToEnd, ProxyPausePreservesQueuesAcrossWindow) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, 1};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 10.0;
-  cfg.fault.proxy_pause(Time::ms(3000), Time::ms(900));
-  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  exp::ScenarioBuilder b;
+  b.video(2, 1).policy(exp::IntervalPolicy::Fixed500).duration_s(10.0);
+  b.fault_spec().proxy_pause(Time::ms(3000), Time::ms(900));
+  const exp::ScenarioResult res = exp::run_scenario(b.build());
   EXPECT_EQ(res.proxy_stats.pauses, 1u);
   // The proxy queue audit ran inside run_scenario: queued == burst +
   // residual held across the pause.  Scheduling resumed afterwards.
@@ -326,12 +322,10 @@ TEST(FaultEndToEnd, ProxyPausePreservesQueuesAcrossWindow) {
 
 TEST(FaultEndToEnd, LinkFlapRecoversAndAuditsPass) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 10.0;
-  cfg.fault.link_flap(Time::ms(4000), Time::ms(600));
-  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  exp::ScenarioBuilder b;
+  b.video(1, 1).policy(exp::IntervalPolicy::Fixed500).duration_s(10.0);
+  b.fault_spec().link_flap(Time::ms(4000), Time::ms(600));
+  const exp::ScenarioResult res = exp::run_scenario(b.build());
   EXPECT_EQ(res.fault_stats.windows_activated, 1u);
   EXPECT_EQ(res.fault_stats.windows_recovered, 1u);
   EXPECT_GT(res.clients[0].packets_received, 0u);
@@ -342,15 +336,14 @@ TEST(FaultEndToEnd, LinkFlapRecoversAndAuditsPass) {
 // untouched (same schedules_received as the k=1 run).
 TEST(FaultEndToEnd, ScheduleRepeatsAreDeduplicated) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, 1};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 10.0;
-  cfg.wireless_p_loss = 0.0;
-  exp::ScenarioConfig rep = cfg;
-  rep.schedule_repeats = 3;
-  const exp::ScenarioResult r1 = exp::run_scenario(cfg);
-  const exp::ScenarioResult r3 = exp::run_scenario(rep);
+  exp::ScenarioBuilder b;
+  b.video(2, 1)
+      .policy(exp::IntervalPolicy::Fixed500)
+      .duration_s(10.0)
+      .wireless_p_loss(0.0);
+  const exp::ScenarioResult r1 = exp::run_scenario(b.build());
+  const exp::ScenarioResult r3 =
+      exp::run_scenario(b.schedule_repeats(3).build());
   // Two repeats per SRP; the final SRP's repeats may land past the horizon.
   EXPECT_GE(r3.proxy_stats.schedule_repeats_sent,
             2 * (r3.proxy_stats.schedules_sent - 1));
@@ -367,19 +360,21 @@ TEST(FaultEndToEnd, ScheduleRepeatsAreDeduplicated) {
 // energy, auditor pairing) passed under the throwing handler.
 TEST(FaultEndToEnd, CombinedGeBurstAndApStallPassesAllAudits) {
   check::ScopedFailureHandler guard{check::throwing_handler};
-  exp::ScenarioConfig cfg;
-  cfg.roles = {1, 1, exp::kRoleWeb};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 12.0;
-  cfg.wireless_p_loss = 0.0;
-  cfg.fault.ge.enabled = true;
-  cfg.fault.ge.p_good_bad = 0.02;
-  cfg.fault.ge.p_bad_good = 0.01;  // mean bad sojourn ~100 attempts
-  cfg.fault.ge.loss_bad = 0.95;
-  cfg.fault.ap_stall(Time::ms(5000), Time::ms(700));
-  cfg.schedule_repeats = 2;
-  cfg.miss_escalation = true;
-  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  exp::ScenarioBuilder b;
+  b.video(2, 1)
+      .web(1)
+      .policy(exp::IntervalPolicy::Fixed500)
+      .duration_s(12.0)
+      .wireless_p_loss(0.0)
+      .schedule_repeats(2)
+      .miss_escalation();
+  auto& f = b.fault_spec();
+  f.ge.enabled = true;
+  f.ge.p_good_bad = 0.02;
+  f.ge.p_bad_good = 0.01;  // mean bad sojourn ~100 attempts
+  f.ge.loss_bad = 0.95;
+  f.ap_stall(Time::ms(5000), Time::ms(700));
+  const exp::ScenarioResult res = exp::run_scenario(b.build());
   EXPECT_GT(res.fault_stats.ge_losses, 0u);
   EXPECT_GT(res.fault_stats.ge_bad_entries, 0u);
   EXPECT_EQ(res.fault_stats.windows_activated, 1u);

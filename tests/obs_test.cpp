@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "exp/builder.hpp"
 #include "exp/scenario.hpp"
 #include "obs/export.hpp"
 #include "obs/hooks.hpp"
@@ -258,11 +259,13 @@ TEST(Export, SubjectStrRendersDottedQuadOrDash) {
 // End-to-end: a short scenario populates the registry with the metrics the
 // report tooling depends on, and they survive a JSONL round trip.
 TEST(ObsIntegration, ScenarioExportsTopLineMetrics) {
-  exp::ScenarioConfig cfg;
-  cfg.roles = {0, exp::kRoleWeb};
-  cfg.policy = exp::IntervalPolicy::Fixed500;
-  cfg.duration_s = 20.0;
-  cfg.keep_obs = true;
+  const auto cfg = exp::ScenarioBuilder{}
+                       .video(1, 0)
+                       .web(1)
+                       .policy(exp::IntervalPolicy::Fixed500)
+                       .duration_s(20.0)
+                       .keep_obs()
+                       .build();
   const auto res = exp::run_scenario(cfg);
   ASSERT_NE(res.obs, nullptr);
 

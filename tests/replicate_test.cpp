@@ -3,6 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "exp/builder.hpp"
 #include "exp/parallel.hpp"
 #include "exp/replicate.hpp"
 
@@ -95,10 +96,11 @@ TEST(ReplicateStats, EmptyAndSingleton) {
 }
 
 TEST(Replicate, RunsSeedsAndSummarizes) {
-  ScenarioConfig cfg;
-  cfg.roles = {0, 0};
-  cfg.policy = IntervalPolicy::Fixed500;
-  cfg.duration_s = 30.0;
+  const auto cfg = ScenarioBuilder{}
+                       .video(2, 0)
+                       .policy(IntervalPolicy::Fixed500)
+                       .duration_s(30.0)
+                       .build();
   const auto s = replicate_saved(cfg, 3, /*base_seed=*/50);
   EXPECT_EQ(s.n, 3);
   EXPECT_GT(s.mean, 50.0);
@@ -108,10 +110,11 @@ TEST(Replicate, RunsSeedsAndSummarizes) {
 }
 
 TEST(Replicate, DeterministicGivenBaseSeed) {
-  ScenarioConfig cfg;
-  cfg.roles = {0};
-  cfg.policy = IntervalPolicy::Fixed500;
-  cfg.duration_s = 20.0;
+  const auto cfg = ScenarioBuilder{}
+                       .video(1, 0)
+                       .policy(IntervalPolicy::Fixed500)
+                       .duration_s(20.0)
+                       .build();
   const auto a = replicate_saved(cfg, 2, 7);
   const auto b = replicate_saved(cfg, 2, 7);
   EXPECT_DOUBLE_EQ(a.mean, b.mean);
@@ -119,10 +122,11 @@ TEST(Replicate, DeterministicGivenBaseSeed) {
 }
 
 TEST(Replicate, CustomMetric) {
-  ScenarioConfig cfg;
-  cfg.roles = {0};
-  cfg.policy = IntervalPolicy::Fixed500;
-  cfg.duration_s = 20.0;
+  const auto cfg = ScenarioBuilder{}
+                       .video(1, 0)
+                       .policy(IntervalPolicy::Fixed500)
+                       .duration_s(20.0)
+                       .build();
   const auto s = replicate(
       cfg, 2,
       [](const ScenarioResult& r) {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "exp/builder.hpp"
 #include "exp/scenario.hpp"
 #include "trace/io.hpp"
 #include "trace/monitor.hpp"
@@ -130,12 +131,13 @@ TEST(TraceIo, TextDumpContainsKeyFields) {
 struct ScenarioTraceFixture : ::testing::Test {
   static const exp::ScenarioResult& result() {
     static exp::ScenarioResult res = [] {
-      exp::ScenarioConfig cfg;
-      cfg.roles = {0, 0, 0};  // three 56K video clients
-      cfg.policy = exp::IntervalPolicy::Fixed500;
-      cfg.seed = 11;
-      cfg.duration_s = 60.0;
-      cfg.keep_trace = true;
+      const auto cfg = exp::ScenarioBuilder{}
+                           .video(3, 0)  // three 56K video clients
+                           .policy(exp::IntervalPolicy::Fixed500)
+                           .seed(11)
+                           .duration_s(60.0)
+                           .keep_trace()
+                           .build();
       return exp::run_scenario(cfg);
     }();
     return res;
