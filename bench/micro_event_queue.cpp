@@ -1,0 +1,282 @@
+// Event-engine perf baseline (BENCH_sim_core.json).
+//
+// Measures the simulator core two ways:
+//   micro    events/sec through sim::EventQueue for the two hot shapes —
+//            schedule-fire (packet-sized captures, depth-64 churn) and
+//            schedule-cancel (half the events cancelled before firing)
+//   battery  cold vs warm wall time for a scaled-down Figure-7 battery
+//            through the sweep engine (9 video + 1 web clients, 20 s,
+//            two fidelities) — the end-to-end shape every figure pays
+//
+// Modes:
+//   micro_event_queue                     table to stdout (micro only)
+//   micro_event_queue --battery           adds the fig7 battery section
+//   micro_event_queue --out=FILE          also write the JSON document
+//   micro_event_queue --check=FILE        regression gate: re-measure the
+//       micro numbers and fail (exit 1) if either drops more than 30%
+//       below FILE's recorded events_per_sec (override the tolerance via
+//       PP_PERF_TOLERANCE, a fraction, e.g. 0.5)
+//
+// Refresh the committed baseline from a Release build on a quiet machine:
+//   cmake --preset perf && cmake --build --preset perf -j
+//   ./build-perf/bench/micro_event_queue --battery --out=BENCH_sim_core.json
+//
+// pp-lint: allow(wall-clock): perf harness; wall time is the measurement
+// here and never feeds simulation state.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/battery.hpp"
+#include "bench/report.hpp"
+#include "exp/builder.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+// pp-lint: allow(wall-clock): perf harness, see header note
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+// The capture every packet hop schedules: `this` plus a net::Packet.
+struct PacketSized {
+  unsigned char bytes[120] = {};
+};
+static_assert(pp::sim::EventCallback::fits_inline<PacketSized>());
+
+constexpr int kDepth = 64;  // concurrent events, ~the testbed's working set
+
+// Push/fire churn: every event fires.  Returns events/sec.
+double measure_schedule_fire(std::int64_t target_events) {
+  using pp::sim::EventQueue;
+  using pp::sim::Time;
+  EventQueue q;
+  pp::sim::Rng rng{2026};
+  std::uint64_t sink = 0;
+  std::int64_t done = 0;
+  const auto t0 = WallClock::now();
+  while (done < target_events) {
+    for (int i = 0; i < kDepth; ++i) {
+      PacketSized payload;
+      payload.bytes[0] = static_cast<unsigned char>(i);
+      const auto when = static_cast<std::int64_t>(rng.next_u64() % 1'000'000);
+      q.push(Time::ns(when), [&sink, payload] { sink += payload.bytes[0]; });
+    }
+    while (!q.empty()) {
+      q.pop().fn();
+      ++done;
+    }
+  }
+  const double secs = seconds_since(t0);
+  if (sink == 0) std::fprintf(stderr, "(impossible: sink == 0)\n");
+  return static_cast<double>(done) / secs;
+}
+
+// Push/cancel/fire churn: half the scheduled events are cancelled before
+// they fire.  Throughput counts every scheduled event (the work done).
+double measure_schedule_cancel(std::int64_t target_events) {
+  using pp::sim::EventQueue;
+  using pp::sim::Time;
+  EventQueue q;
+  pp::sim::Rng rng{4052};
+  std::int64_t scheduled = 0;
+  const auto t0 = WallClock::now();
+  while (scheduled < target_events) {
+    pp::sim::EventHandle hs[kDepth];
+    for (int i = 0; i < kDepth; ++i) {
+      PacketSized payload;
+      const auto when = static_cast<std::int64_t>(rng.next_u64() % 1'000'000);
+      hs[i] = q.push(Time::ns(when), [payload] {});
+    }
+    scheduled += kDepth;
+    for (int i = 0; i < kDepth; i += 2) hs[i].cancel();
+    while (!q.empty()) q.pop().fn();
+  }
+  const double secs = seconds_since(t0);
+  return static_cast<double>(scheduled) / secs;
+}
+
+double best_of(int trials, double (*fn)(std::int64_t), std::int64_t events) {
+  double best = 0;
+  for (int t = 0; t < trials; ++t) {
+    const double eps = fn(events);
+    if (eps > best) best = eps;
+  }
+  return best;
+}
+
+// Scaled-down Figure-7 battery: cold pass simulates, warm pass replays
+// from the sweep cache.  Returns {cold_s, warm_s}.
+struct BatteryTimes {
+  double cold_s = 0;
+  double warm_s = 0;
+  std::size_t items = 0;
+};
+
+BatteryTimes measure_fig7_battery() {
+  using namespace pp;
+  namespace fs = std::filesystem;
+  std::vector<exp::sweep::Item> items;
+  for (int fidelity : {1, 2}) {
+    items.push_back({"fig7-f" + std::to_string(fidelity) + "/w0.33/20s",
+                     exp::ScenarioBuilder::fig7(fidelity, 0.33)
+                         .duration_s(20.0)
+                         .build()});
+  }
+  bench::BatteryOptions opts;
+  opts.progress = false;
+  const fs::path cache_dir =
+      fs::temp_directory_path() /
+      ("pp-perf-fig7." + std::to_string(::getpid()));
+  opts.cache_dir = cache_dir.string();
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);  // guarantee the first pass is cold
+
+  BatteryTimes bt;
+  bt.items = items.size();
+  auto t0 = WallClock::now();
+  const auto cold = bench::run_battery(items, opts);
+  bt.cold_s = seconds_since(t0);
+  t0 = WallClock::now();
+  const auto warm = bench::run_battery(items, opts);
+  bt.warm_s = seconds_since(t0);
+  fs::remove_all(cache_dir, ec);
+  if (cold.stats.misses != items.size() || warm.stats.hits != items.size()) {
+    std::fprintf(stderr,
+                 "micro_event_queue: fig7 battery cache behaved "
+                 "unexpectedly (cold misses %zu, warm hits %zu)\n",
+                 cold.stats.misses, warm.stats.hits);
+  }
+  return bt;
+}
+
+// Pull `"events_per_sec":<num>` out of the row tagged with this bench
+// name in a committed Report JSON document.  Returns < 0 when absent.
+double baseline_events_per_sec(const std::string& doc,
+                               const std::string& bench) {
+  const std::string tag = "\"bench\":\"" + bench + "\"";
+  const std::size_t row = doc.find(tag);
+  if (row == std::string::npos) return -1;
+  const std::string key = "\"events_per_sec\":";
+  const std::size_t val = doc.find(key, row);
+  if (val == std::string::npos) return -1;
+  return std::strtod(doc.c_str() + val + key.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pp;
+  std::string out_path;
+  std::string check_path;
+  bool with_battery = false;
+  std::int64_t events = 2'000'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      check_path = arg.substr(8);
+    } else if (arg == "--battery") {
+      with_battery = true;
+    } else if (arg.rfind("--events=", 0) == 0) {
+      events = std::atoll(arg.c_str() + 9);
+    }
+  }
+
+  // Warmup pass (page in, clock up), then best-of-3 measured trials.
+  (void)measure_schedule_fire(events / 4);
+  const double fire_eps = best_of(3, measure_schedule_fire, events);
+  const double cancel_eps = best_of(3, measure_schedule_cancel, events);
+
+  bench::Report rep{"sim core perf baseline"};
+  auto& micro = rep.section("micro: event queue throughput");
+  micro.row()
+      .cell("bench", "schedule_fire")
+      .cell("events_per_sec", fire_eps, 0)
+      .cell("depth", kDepth);
+  micro.row()
+      .cell("bench", "schedule_cancel")
+      .cell("events_per_sec", cancel_eps, 0)
+      .cell("depth", kDepth);
+
+  if (with_battery) {
+    const BatteryTimes bt = measure_fig7_battery();
+    auto& bat = rep.section("fig7 battery, scaled (9 video + 1 web, 20 s)");
+    bat.row()
+        .cell("pass", "cold")
+        .cell("seconds", bt.cold_s, 2)
+        .cell("items", static_cast<std::uint64_t>(bt.items));
+    bat.row()
+        .cell("pass", "warm")
+        .cell("seconds", bt.warm_s, 2)
+        .cell("items", static_cast<std::uint64_t>(bt.items));
+  }
+  rep.note(
+      "refresh: Release build, quiet machine: "
+      "micro_event_queue --battery --out=BENCH_sim_core.json");
+
+  if (!check_path.empty()) {
+    std::ifstream in{check_path};
+    if (!in) {
+      std::fprintf(stderr, "micro_event_queue: cannot read baseline %s\n",
+                   check_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string doc = ss.str();
+    double tolerance = 0.30;
+    if (const char* env = std::getenv("PP_PERF_TOLERANCE")) {
+      tolerance = std::strtod(env, nullptr);
+    }
+    int failures = 0;
+    const struct {
+      const char* bench;
+      double measured;
+    } checks[] = {{"schedule_fire", fire_eps},
+                  {"schedule_cancel", cancel_eps}};
+    for (const auto& c : checks) {
+      const double base = baseline_events_per_sec(doc, c.bench);
+      if (base <= 0) {
+        std::fprintf(stderr, "micro_event_queue: baseline for %s missing\n",
+                     c.bench);
+        ++failures;
+        continue;
+      }
+      const double floor = base * (1.0 - tolerance);
+      const bool ok = c.measured >= floor;
+      std::printf("%-16s %12.0f ev/s  baseline %12.0f  floor %12.0f  %s\n",
+                  c.bench, c.measured, base, floor, ok ? "OK" : "REGRESSED");
+      if (!ok) ++failures;
+    }
+    if (failures > 0) {
+      std::fprintf(stderr,
+                   "micro_event_queue: %d regression(s) beyond %.0f%% "
+                   "(set PP_PERF_TOLERANCE to adjust)\n",
+                   failures, tolerance * 100.0);
+      return 1;
+    }
+    return 0;
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out{out_path};
+    out << rep.json() << "\n";
+  }
+  rep.print();
+  return 0;
+}

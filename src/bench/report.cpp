@@ -13,10 +13,19 @@ std::string fmt_double(double v, int precision) {
   return buf;
 }
 
+// Quoting is done with append rather than `"\"" + s + "\""`: GCC 12 -O3
+// misfires -Wrestrict on const char* + rvalue-string and the build is
+// -Werror.
+void append_quoted(std::string& out, const std::string& s) {
+  out.push_back('"');
+  out.append(s);
+  out.push_back('"');
+}
+
 Report::Cell make_text_cell(const std::string& column, std::string text) {
   Report::Cell c;
   c.column = column;
-  c.json = "\"" + json_escape(text) + "\"";
+  append_quoted(c.json, json_escape(text));
   c.text = std::move(text);
   c.numeric = false;
   return c;
@@ -186,7 +195,9 @@ std::string Report::json() const {
       for (const Cell& c : row.cells_) {
         if (!first_cell) out += ",";
         first_cell = false;
-        out += "\"" + json_escape(c.column) + "\":" + c.json;
+        append_quoted(out, json_escape(c.column));
+        out.push_back(':');
+        out += c.json;
       }
       out += "}";
     }
@@ -197,7 +208,7 @@ std::string Report::json() const {
   for (const std::string& n : notes_) {
     if (!first_note) out += ",";
     first_note = false;
-    out += "\"" + json_escape(n) + "\"";
+    append_quoted(out, json_escape(n));
   }
   out += "]}";
   return out;

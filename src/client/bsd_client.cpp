@@ -80,10 +80,11 @@ void BsdClient::deliver(net::Packet pkt, sim::Duration airtime) {
   }
   ++traffic_.packets_received;
   traffic_.bytes_received += pkt.payload;
-  node_.handle_packet(pkt);
+  const bool marked = pkt.marked;
+  node_.handle_packet(std::move(pkt));
   // Traffic resets the ladder: more may follow soon.
   skip_ = 1;
-  if (draining_ && pkt.marked) {
+  if (draining_ && marked) {
     draining_ = false;
     if (sim_.now() >= window_until_) doze_for_skip();
   }

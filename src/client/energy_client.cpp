@@ -87,8 +87,10 @@ void EnergyAwareClient::deliver(net::Packet pkt, sim::Duration airtime) {
   // Hand to the stack first (so ACKs go out while we are still awake),
   // then let the daemon act on the marked bit — a marked packet may put
   // the radio to sleep immediately.
-  node_.handle_packet(pkt);
-  if (!params_.naive) daemon_.on_data(pkt);
+  const std::uint32_t payload = pkt.payload;
+  const bool marked = pkt.marked;
+  node_.handle_packet(std::move(pkt));
+  if (!params_.naive) daemon_.on_data(payload, marked);
 }
 
 void EnergyAwareClient::missed(const net::Packet& pkt, sim::Duration airtime) {

@@ -197,11 +197,11 @@ void PowerDaemon::begin_wait(State next, std::size_t entry_idx) {
   }
 }
 
-void PowerDaemon::on_data(const net::Packet& pkt) {
+void PowerDaemon::on_data(std::uint32_t payload, bool marked) {
   // Pure control segments (handshake ACKs, FINs) are not burst data; they
   // flow through the proxy ungated and must not disturb the burst state
   // machine.
-  if (pkt.payload == 0 && !pkt.marked) return;
+  if (payload == 0 && !marked) return;
   ++stats_.data_packets;
   settle_first_wait();
   if (state_ == State::AwaitingBurst || state_ == State::AwaitingSchedule) {
@@ -209,7 +209,7 @@ void PowerDaemon::on_data(const net::Packet& pkt) {
     // Section 3.2.2: accept data that comes before a schedule).
     state_ = State::Receiving;
   }
-  if (pkt.marked) end_burst(/*via_mark=*/true);
+  if (marked) end_burst(/*via_mark=*/true);
 }
 
 void PowerDaemon::end_burst(bool via_mark) {

@@ -116,8 +116,11 @@ class PowerDaemon {
 
   // A schedule broadcast was received (WNIC necessarily awake).
   void on_schedule(std::shared_ptr<const proxy::ScheduleMessage> msg);
-  // A packet addressed to this client was received.
-  void on_data(const net::Packet& pkt);
+  // A packet addressed to this client was received.  The daemon only reads
+  // the payload size and the end-of-burst mark, so callers that have
+  // already moved the packet into the stack use the field form directly.
+  void on_data(const net::Packet& pkt) { on_data(pkt.payload, pkt.marked); }
+  void on_data(std::uint32_t payload, bool marked);
   // The application initiated uplink activity: wake and stay awake until
   // the next schedule resynchronizes us.
   void force_awake();

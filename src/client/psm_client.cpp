@@ -76,8 +76,9 @@ void PsmClient::deliver(net::Packet pkt, sim::Duration airtime) {
   }
   ++traffic_.packets_received;
   traffic_.bytes_received += pkt.payload;
-  node_.handle_packet(pkt);
-  if (draining_ && pkt.marked) {
+  const bool marked = pkt.marked;
+  node_.handle_packet(std::move(pkt));
+  if (draining_ && marked) {
     draining_ = false;
     doze_until(last_beacon_arrival_ + beacon_interval_ - params_.early);
   }

@@ -10,6 +10,15 @@ std::uint64_t fold_string(std::uint64_t h, const std::string& s) {
   return h;
 }
 
+// "sim."-prefixed counters are event-engine meta-metrics (pooled-callback
+// and slab accounting, see Testbed::publish_sim_metrics).  They describe
+// how the engine executed a run, not what the simulated system did, and
+// they shift with engine internals (SBO threshold, pool sizing) — so the
+// behavioral fingerprint must not fold them in.
+bool engine_meta_metric(const std::string& name) {
+  return name.rfind("sim.", 0) == 0;
+}
+
 }  // namespace
 
 std::uint64_t timeline_digest(const obs::Timeline& tl) {
@@ -29,6 +38,7 @@ std::uint64_t timeline_digest(const obs::Timeline& tl) {
 std::uint64_t metrics_digest(const obs::MetricsRegistry& m) {
   std::uint64_t h = kFnvOffset;
   for (const auto& [name, ctr] : m.counters()) {
+    if (engine_meta_metric(name)) continue;
     h = fold_string(h, name);
     h = fnv1a_u64(h, ctr.value());
   }

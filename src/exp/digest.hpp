@@ -33,6 +33,9 @@ inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
 // Order-sensitive digest of every retained timeline event.
 std::uint64_t timeline_digest(const obs::Timeline& tl);
 // Digest of all counters and histogram buckets (maps are ordered by name).
+// Skips "sim."-prefixed engine meta-counters: they report how the event
+// engine executed (allocation/pruning behaviour), not what the simulated
+// system did, so they must not perturb the behavioral fingerprint.
 std::uint64_t metrics_digest(const obs::MetricsRegistry& m);
 // Combined digest of a run's full observer state.
 std::uint64_t observer_digest(const obs::Observer& o);

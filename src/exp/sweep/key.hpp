@@ -32,7 +32,9 @@ namespace pp::exp::sweep {
 
 // Schema+behaviour version; bump on any change to canonical_config's
 // format, RunRecord serialization, or simulation semantics.
-inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0001ULL;
+// 0002: event-engine overhaul (pooled callbacks, 4-ary heap) — digests are
+// unchanged by design, but perf baselines must be re-measured cold.
+inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0002ULL;
 
 // Deterministic text rendering of every config field ("k=v\n" lines).
 std::string canonical_config(const ScenarioConfig& cfg);

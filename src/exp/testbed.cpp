@@ -100,6 +100,7 @@ std::vector<net::Ipv4Addr> Testbed::client_ips() const {
 }
 
 void Testbed::finalize_audit(sim::Time horizon) {
+  publish_sim_metrics();
   ap_.audit();
   proxy_->audit();
   for (std::size_t i = 0; i < clients_.size(); ++i) {
@@ -109,6 +110,29 @@ void Testbed::finalize_audit(sim::Time horizon) {
     clients_[i]->accountant().audit(sim_.now(), component.c_str());
   }
   if (auditor_) auditor_->finalize(horizon);
+}
+
+void Testbed::publish_sim_metrics() {
+  if (sim_metrics_published_) return;
+  sim_metrics_published_ = true;
+#if PP_OBS_ENABLED
+  auto* m = metrics();
+  if (m == nullptr) return;
+  // Engine meta-counters.  The "sim." prefix is load-bearing: replay
+  // digests skip it (see exp/digest.cpp), so these can move with engine
+  // tuning without perturbing behavioral fingerprints.
+  const sim::EventQueue::Stats& qs = sim_.queue_stats();
+  m->counter("sim.events.scheduled")->inc(qs.scheduled);
+  m->counter("sim.events.fired")->inc(qs.fired);
+  m->counter("sim.events.cancelled")->inc(qs.cancelled);
+  m->counter("sim.events.stale_pruned")->inc(qs.stale_pruned);
+  m->counter("sim.events.slab_slots")
+      ->inc(static_cast<std::uint64_t>(sim_.queue_slab_slots()));
+  m->counter("sim.alloc.callbacks_inline")->inc(qs.alloc.callbacks_inline);
+  m->counter("sim.alloc.callbacks_pooled")->inc(qs.alloc.callbacks_pooled);
+  m->counter("sim.alloc.pool_reuses")->inc(qs.alloc.pool_reuses);
+  m->counter("sim.alloc.pool_allocs")->inc(qs.alloc.pool_allocs);
+#endif
 }
 
 void Testbed::start(sim::Time first_srp) {

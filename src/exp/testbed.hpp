@@ -94,6 +94,11 @@ class Testbed {
   // aborts (or throws under a test handler) on the first violation.
   void finalize_audit(sim::Time horizon);
 
+  // Snapshot the event engine's sim.events.* / sim.alloc.* counters into
+  // the metrics registry (no-op when not observing; idempotent).  Called
+  // by finalize_audit; exposed for drivers that skip the audit.
+  void publish_sim_metrics();
+
   // The streaming timeline auditor (null when not observing).
   check::Auditor* auditor() { return auditor_.get(); }
   // The fault plan (null when params.fault is empty).
@@ -117,6 +122,7 @@ class Testbed {
   std::vector<std::unique_ptr<net::Node>> servers_;
   int next_server_ = 1;
   bool started_ = false;
+  bool sim_metrics_published_ = false;
 };
 
 // Client address helper: clients are 172.16.0.<i+1>.

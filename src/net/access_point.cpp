@@ -23,14 +23,14 @@ void AccessPoint::handle_packet(Packet pkt) {
     auto it = psm_queues_.find(pkt.dst);
     if (it != psm_queues_.end()) {
       // Per-station parking cap, separate from the forwarding backlog.
-      std::uint64_t held = 0;
-      for (const auto& p : it->second) held += p.wire_size();
-      if (held + pkt.wire_size() > params_.queue_limit_bytes) {
+      PsmQueue& q = it->second;
+      if (q.bytes + pkt.wire_size() > params_.queue_limit_bytes) {
         ++dropped_;
         note_drop(pkt);
         return;
       }
-      it->second.push_back(std::move(pkt));
+      q.bytes += pkt.wire_size();
+      q.frames.push_back(std::move(pkt));
       return;
     }
   }
@@ -126,13 +126,13 @@ void AccessPoint::enable_psm(sim::Duration interval) {
 }
 
 void AccessPoint::register_psm_station(Ipv4Addr ip) {
-  psm_queues_.emplace(ip, std::deque<Packet>{});
+  psm_queues_.emplace(ip, PsmQueue{});
 }
 
 std::uint64_t AccessPoint::psm_buffered_frames() const {
   std::uint64_t n = 0;
   // pp-lint: allow(unordered-iter): order-insensitive sum over queue sizes
-  for (const auto& [ip, q] : psm_queues_) n += q.size();
+  for (const auto& [ip, q] : psm_queues_) n += q.frames.size();
   return n;
 }
 
@@ -153,7 +153,7 @@ void AccessPoint::send_beacon() {
   // Sorted so the TIM element order (and hence beacon payload size per
   // station order downstream) never depends on hash-bucket layout.
   for (const auto* kv : check::sorted_items(psm_queues_))
-    if (!kv->second.empty()) msg->tim.push_back(kv->first);
+    if (!kv->second.frames.empty()) msg->tim.push_back(kv->first);
 
   Packet beacon = make_packet();
   beacon.dst = Ipv4Addr::broadcast();
@@ -174,12 +174,13 @@ void AccessPoint::send_beacon() {
     // Sorted: the flush order decides downlink FIFO order across stations,
     // which must not depend on hash-bucket layout.
     for (auto* kv : check::sorted_items(psm_queues_)) {
-      auto& q = kv->second;
-      if (q.empty() || !medium_.station_listening(kv->first)) continue;
-      while (!q.empty()) {
-        Packet p = std::move(q.front());
-        q.pop_front();
-        if (q.empty()) p.marked = true;
+      PsmQueue& q = kv->second;
+      if (q.frames.empty() || !medium_.station_listening(kv->first)) continue;
+      while (!q.frames.empty()) {
+        Packet p = std::move(q.frames.front());
+        q.frames.pop_front();
+        q.bytes -= p.wire_size();
+        if (q.frames.empty()) p.marked = true;
         forward_downlink(std::move(p));
       }
     }

@@ -101,12 +101,17 @@ class AccessPoint : public PacketSink, public WirelessStation {
   obs::Counter* ctr_forwarded_ = nullptr;
   obs::TimeWeightedGauge* twg_backlog_ = nullptr;
 
-  // PSM state.
+  // PSM state.  Each parked queue carries its byte total so the per-packet
+  // admission check is O(1) instead of a walk over the parked frames.
+  struct PsmQueue {
+    std::deque<Packet> frames;
+    std::uint64_t bytes = 0;
+  };
   bool psm_enabled_ = false;
   sim::Duration beacon_interval_;
   std::uint64_t beacon_seq_ = 0;
   std::uint64_t beacons_sent_ = 0;
-  std::unordered_map<Ipv4Addr, std::deque<Packet>, Ipv4AddrHash> psm_queues_;
+  std::unordered_map<Ipv4Addr, PsmQueue, Ipv4AddrHash> psm_queues_;
   sim::EventHandle beacon_timer_;
 };
 

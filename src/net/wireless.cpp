@@ -70,7 +70,7 @@ void WirelessMedium::transmit(StationId sender, Packet pkt) {
           });
 }
 
-void WirelessMedium::deliver_to(StationId receiver, const Packet& pkt,
+void WirelessMedium::deliver_to(StationId receiver, Packet pkt,
                                 sim::Time air_start, sim::Duration airtime,
                                 bool& any_delivered) {
   (void)air_start;
@@ -83,7 +83,7 @@ void WirelessMedium::deliver_to(StationId receiver, const Packet& pkt,
           ? loss_model_->corrupted(pkt, stations_[receiver].ip, sim_.now())
           : (params_.p_loss > 0 && sim_.rng().chance(params_.p_loss));
   if (st.listening() && !corrupted) {
-    st.deliver(pkt, airtime);
+    st.deliver(std::move(pkt), airtime);
     any_delivered = true;
   } else {
     st.missed(pkt, airtime);
@@ -97,18 +97,36 @@ void WirelessMedium::finish_frame(StationId sender, Packet pkt,
   if (ap_ == kNoStation)
     throw std::logic_error("WirelessMedium: no access point attached");
   bool any_delivered = false;
+  // When no sniffers are attached, the frame's last delivery can consume
+  // the packet — one fewer payload-shared_ptr refcount round trip per hop.
+  const bool keep = !sniffers_.empty();
   if (sender == ap_) {
     if (pkt.is_broadcast()) {
+      StationId last = kNoStation;
+      for (StationId i = stations_.size(); i-- > 0;) {
+        if (i != ap_) {
+          last = i;
+          break;
+        }
+      }
       for (StationId i = 0; i < stations_.size(); ++i) {
         if (i == ap_) continue;
-        deliver_to(i, pkt, air_start, airtime, any_delivered);
+        if (!keep && i == last) {
+          deliver_to(i, std::move(pkt), air_start, airtime, any_delivered);
+        } else {
+          deliver_to(i, pkt, air_start, airtime, any_delivered);
+        }
       }
     } else {
       // Unicast downlink: find the addressed station.
       bool found = false;
       for (StationId i = 0; i < stations_.size(); ++i) {
         if (i != ap_ && stations_[i].ip == pkt.dst) {
-          deliver_to(i, pkt, air_start, airtime, any_delivered);
+          if (keep) {
+            deliver_to(i, pkt, air_start, airtime, any_delivered);
+          } else {
+            deliver_to(i, std::move(pkt), air_start, airtime, any_delivered);
+          }
           found = true;
           break;
         }
@@ -117,7 +135,11 @@ void WirelessMedium::finish_frame(StationId sender, Packet pkt,
     }
   } else {
     // Uplink: always handed to the access point (infrastructure mode).
-    deliver_to(ap_, pkt, air_start, airtime, any_delivered);
+    if (keep) {
+      deliver_to(ap_, pkt, air_start, airtime, any_delivered);
+    } else {
+      deliver_to(ap_, std::move(pkt), air_start, airtime, any_delivered);
+    }
   }
   const bool from_ap = sender == ap_;
   if (!sniffers_.empty()) {

@@ -91,6 +91,7 @@ struct SnifferRecord {
   bool from_ap = false;
   bool delivered = false;
 };
+// pp-lint: allow(std-function): sniffers are test/monitor-only instruments
 using SnifferFn = std::function<void(const SnifferRecord&)>;
 
 class WirelessMedium {
@@ -139,7 +140,10 @@ class WirelessMedium {
 
   void finish_frame(StationId sender, Packet pkt, sim::Time air_start,
                     sim::Duration airtime);
-  void deliver_to(StationId receiver, const Packet& pkt, sim::Time air_start,
+  // Takes the packet by value: callers copy for all but the final delivery
+  // of a frame and move for the last one, so a unicast frame's payload
+  // shared_ptr is handed down the stack without refcount churn.
+  void deliver_to(StationId receiver, Packet pkt, sim::Time air_start,
                   sim::Duration airtime, bool& any_delivered);
 
   sim::Simulator& sim_;

@@ -26,7 +26,13 @@ std::string fmt_double(double v) {
 // number characters, or an array (scanned by the caller).
 
 std::string_view raw_value(std::string_view line, std::string_view key) {
-  const std::string pat = "\"" + std::string{key} + "\":";
+  // Built with append (not operator+): GCC 12 -O3 misfires -Wrestrict on
+  // `"lit" + std::string{sv}` and the build is -Werror.
+  std::string pat;
+  pat.reserve(key.size() + 3);
+  pat.push_back('"');
+  pat.append(key);
+  pat += "\":";
   const auto pos = line.find(pat);
   if (pos == std::string_view::npos) return {};
   return line.substr(pos + pat.size());

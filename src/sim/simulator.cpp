@@ -4,14 +4,9 @@
 
 namespace pp::sim {
 
-EventHandle Simulator::at(Time when, EventFn fn) {
-  PP_CHECK_AT(when >= now_, "sim.simulator.schedule_into_past", now_);
-  return queue_.push(when, std::move(fn));
-}
-
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && queue_.next_time() != Time::max()) {
+  while (!stopped_ && !queue_.empty()) {
     auto [when, fn] = queue_.pop();
     PP_CHECK_AT(when >= now_, "sim.simulator.monotonic_clock", now_);
     now_ = when;

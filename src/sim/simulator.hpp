@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/check.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -23,11 +24,18 @@ class Simulator {
   Time now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  // Schedule fn at an absolute time (must be >= now()).
-  EventHandle at(Time when, EventFn fn);
+  // Schedule fn at an absolute time (must be >= now()).  The callable is
+  // forwarded straight into the event slab — no std::function, no heap
+  // allocation for captures within EventCallback::kInlineCapacity.
+  template <typename F>
+  EventHandle at(Time when, F&& fn) {
+    PP_CHECK_AT(when >= now_, "sim.simulator.schedule_into_past", now_);
+    return queue_.push(when, std::forward<F>(fn));
+  }
   // Schedule fn after a delay (must be >= 0).
-  EventHandle after(Duration delay, EventFn fn) {
-    return at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventHandle after(Duration delay, F&& fn) {
+    return at(now_ + delay, std::forward<F>(fn));
   }
 
   // Run until the event queue drains or stop() is called.
@@ -38,6 +46,10 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_fired() const { return events_fired_; }
+  // Scheduling/allocation behaviour of the event engine (sim.events.* /
+  // sim.alloc.* when published through obs).
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+  std::size_t queue_slab_slots() const { return queue_.slab_slots(); }
 
  private:
   Time now_ = Time::zero();

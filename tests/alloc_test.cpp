@@ -1,0 +1,180 @@
+// Zero-allocation contract for the scheduling hot path.
+//
+// The test binary replaces global operator new/delete with counting
+// versions, warms an EventQueue / Simulator to its steady-state footprint
+// (slab, heap array, and free list at peak depth), and then asserts that
+// further schedule/fire/cancel churn — including packet-sized captures —
+// performs exactly zero heap allocations.  A scenario-level test runs a
+// UDP video-streaming workload and checks the engine's own accounting:
+// every capture in the whole run fits the SBO buffer, so the pool fallback
+// never fires.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "exp/builder.hpp"
+#include "exp/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+std::uint64_t g_allocs = 0;  // single-threaded binary; plain counter is fine
+
+void* counted_alloc(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace pp {
+namespace {
+
+using sim::EventQueue;
+using sim::Time;
+
+// Mimics the fattest steady-state capture: `this` + a net::Packet-sized
+// payload, comfortably under EventCallback::kInlineCapacity.
+struct PacketSized {
+  unsigned char bytes[120] = {};
+};
+static_assert(sim::EventCallback::fits_inline<PacketSized>());
+
+TEST(Alloc, QueueChurnIsAllocationFreeAfterWarmup) {
+  EventQueue q;
+  constexpr int kDepth = 64;
+  std::uint64_t sink = 0;
+  auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < kDepth; ++i) {
+        PacketSized payload;
+        payload.bytes[0] = static_cast<unsigned char>(i);
+        q.push(Time::ms(r * kDepth + i),
+               [&sink, payload] { sink += payload.bytes[0]; });
+      }
+      while (!q.empty()) q.pop().fn();
+    }
+  };
+  churn(2);  // warmup: slab, heap array, free list reach steady size
+  const std::uint64_t before = g_allocs;
+  churn(50);
+  EXPECT_EQ(g_allocs - before, 0u)
+      << "schedule/fire churn with inline-sized captures hit the heap";
+  EXPECT_GT(sink, 0u);
+  EXPECT_EQ(q.stats().alloc.callbacks_pooled, 0u);
+}
+
+TEST(Alloc, CancelChurnIsAllocationFreeAfterWarmup) {
+  EventQueue q;
+  constexpr int kDepth = 64;
+  auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      sim::EventHandle hs[kDepth];
+      for (int i = 0; i < kDepth; ++i) {
+        PacketSized payload;
+        hs[i] = q.push(Time::ms(r * kDepth + i), [payload] {});
+      }
+      for (int i = 0; i < kDepth; i += 2) hs[i].cancel();
+      while (!q.empty()) q.pop().fn();
+    }
+  };
+  churn(2);
+  const std::uint64_t before = g_allocs;
+  churn(50);
+  EXPECT_EQ(g_allocs - before, 0u)
+      << "schedule/cancel churn hit the heap after warmup";
+}
+
+TEST(Alloc, SimulatorSteadyStateIsAllocationFree) {
+  sim::Simulator sim;
+  constexpr int kTicks = 2000;
+  int fired = 0;
+  // Self-rescheduling tick chain with a packet-sized capture, the shape of
+  // every periodic component in the testbed.
+  struct Tick {
+    sim::Simulator& sim;
+    int& fired;
+    PacketSized payload;
+    void operator()() {
+      ++fired;
+      if (fired < kTicks) sim.after(Time::us(50), Tick{sim, fired, payload});
+    }
+  };
+  sim.after(Time::us(50), Tick{sim, fired, PacketSized{}});
+  // Warmup: run the first handful of ticks, then measure the rest.
+  sim.run_until(Time::us(50) * 10);
+  const std::uint64_t before = g_allocs;
+  sim.run();
+  EXPECT_EQ(g_allocs - before, 0u)
+      << "steady-state simulator ticking hit the heap";
+  EXPECT_EQ(fired, kTicks);
+}
+
+TEST(Alloc, OversizedCapturesReusePoolBlocks) {
+  EventQueue q;
+  struct Oversized {
+    unsigned char bytes[512] = {};
+  };
+  static_assert(!sim::EventCallback::fits_inline<Oversized>());
+  auto churn = [&](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      Oversized big;
+      q.push(Time::ms(r), [big] {});
+      q.pop().fn();
+    }
+  };
+  churn(1);
+  EXPECT_EQ(q.stats().alloc.pool_allocs, 1u);
+  const std::uint64_t before = g_allocs;
+  churn(100);
+  EXPECT_EQ(g_allocs - before, 0u)
+      << "pool fallback should recycle blocks, not re-allocate";
+  EXPECT_EQ(q.stats().alloc.callbacks_pooled, 101u);
+  EXPECT_EQ(q.stats().alloc.pool_allocs, 1u);
+  EXPECT_EQ(q.stats().alloc.pool_reuses, 100u);
+}
+
+// Scenario-level contract: across an entire UDP video-streaming run —
+// every packet hop, timer, TCP control exchange, and schedule broadcast —
+// no capture exceeds the SBO threshold, so the scheduling path never takes
+// the pool fallback (and a fortiori never the raw heap).
+TEST(Alloc, UdpStreamingScenarioSchedulesEverythingInline) {
+  exp::ScenarioConfig cfg = exp::ScenarioBuilder{}
+                                .video(2, 3)  // 512 kbps UDP streams
+                                .policy(exp::IntervalPolicy::Fixed500)
+                                .seed(7)
+                                .duration_s(8.0)  // streams start at t=2s
+                                .keep_obs()
+                                .build();
+  const exp::ScenarioResult res = exp::run_scenario(cfg);
+  ASSERT_NE(res.obs, nullptr);
+  obs::MetricsRegistry& m = res.obs->metrics;
+  EXPECT_GT(m.counter("sim.events.scheduled")->value(), 1000u);
+  EXPECT_EQ(m.counter("sim.alloc.callbacks_pooled")->value(), 0u)
+      << "a scenario capture outgrew EventCallback::kInlineCapacity";
+  EXPECT_EQ(m.counter("sim.alloc.pool_allocs")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace pp

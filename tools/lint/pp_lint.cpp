@@ -18,6 +18,11 @@
 //   naked-duration  arithmetic variables suffixed _ns/_us/_ms — durations
 //                   must be sim::Time/sim::Duration (accessor *functions*
 //                   like count_ns() are exempt)
+//   std-function    std::function inside src/sim or src/net — the event
+//                   and packet hot paths; type-erased std::function calls
+//                   there cost a heap allocation per capture.  Use
+//                   sim::EventCallback, a template parameter, or a
+//                   concrete functor (cold-path uses take an allow)
 //
 // A finding is suppressed by an allowlist comment on the same or the
 // preceding line, with a mandatory justification:
@@ -305,6 +310,31 @@ void scan_simple_tokens(const FileScan& f, std::vector<Finding>& out) {
   }
 }
 
+// std::function is banned on the hot paths only: src/sim (the event
+// engine) and src/net (per-packet code).  Elsewhere (transport callbacks,
+// sweep plumbing, bench harness) it is fine.
+void scan_std_function(const FileScan& f, std::vector<Finding>& out) {
+  const bool hot = f.path.find("src/sim") != std::string::npos ||
+                   f.path.find("src/net") != std::string::npos;
+  if (!hot) return;
+  static const std::string word = "std::function";
+  std::size_t pos = 0;
+  while ((pos = f.code.find(word, pos)) != std::string::npos) {
+    const std::size_t here = pos;
+    pos += word.size();
+    const std::size_t end = here + word.size();
+    if (end < f.code.size() && ident_char(f.code[end])) continue;
+    if (here > 0 &&
+        (ident_char(f.code[here - 1]) || f.code[here - 1] == ':')) {
+      continue;
+    }
+    out.push_back({f.path, line_of(f.line_starts, here), "std-function",
+                   "std::function on a sim/net hot path allocates per "
+                   "capture; use sim::EventCallback, a template parameter, "
+                   "or a concrete functor"});
+  }
+}
+
 void scan_new_delete(const FileScan& f, std::vector<Finding>& out) {
   std::size_t pos = 0;
   while ((pos = f.code.find("new", pos)) != std::string::npos) {
@@ -472,6 +502,7 @@ int main(int argc, char** argv) {
 
     std::vector<Finding> found;
     scan_simple_tokens(f, found);
+    scan_std_function(f, found);
     scan_new_delete(f, found);
     scan_unordered_iter(f, unordered_vars, found);
     scan_naked_duration(f, found);
