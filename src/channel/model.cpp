@@ -1,0 +1,202 @@
+#include "channel/model.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "check/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace pp::channel {
+
+namespace {
+
+// Stream tag folded into the run seed so channel draws are independent of
+// the simulator's shared stream and of the fault stream (which has its own
+// tag).  Changing this constant changes every channel-modeled run.
+constexpr std::uint64_t kChannelStreamTag = 0xC4A77E10'5AD1E5CULL;
+// Odd multiplier decorrelating per-client child seeds before splitmix64.
+constexpr std::uint64_t kClientSeedMix = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+sim::Rng channel_stream(std::uint64_t run_seed) {
+  return sim::Rng{run_seed ^ kChannelStreamTag};
+}
+
+std::uint64_t client_stream_seed(std::uint64_t run_seed, std::uint32_t raw_ip) {
+  return (run_seed ^ kChannelStreamTag) +
+         kClientSeedMix * (static_cast<std::uint64_t>(raw_ip) + 1);
+}
+
+ChannelSpec ChannelSpec::two_state(double p_good_bad, double p_bad_good,
+                                   double loss_good, double loss_bad,
+                                   double goodput_bps) {
+  ChannelSpec s;
+  s.enabled = true;
+  s.rungs.push_back(
+      ChannelRung{/*p_up=*/0.0, /*p_down=*/p_good_bad, loss_good, goodput_bps});
+  s.rungs.push_back(ChannelRung{/*p_up=*/p_bad_good, /*p_down=*/0.0, loss_bad,
+                                goodput_bps * 0.2});
+  return s;
+}
+
+ChannelSpec ChannelSpec::ladder(int n, double burstiness,
+                                double top_goodput_bps) {
+  ChannelSpec s;
+  s.enabled = true;
+  s.rungs.reserve(static_cast<std::size_t>(n));
+  // The ladder fades in wall-clock time (20 ms chain tick), not per
+  // attempt: a client that is not being served still sees its fade end,
+  // which is the physical premise behind deferring bad-channel clients
+  // (DESIGN.md §12.3).  Higher burstiness: degraded rungs are entered more
+  // often and left more slowly (correlated fades), and the worst rung
+  // loses nearly everything.  Exit rates put fades on the order of a
+  // second — long enough to be a real fade, short enough that a
+  // deadline-bounded deferral can outwait one.
+  s.tick_s = 0.02;
+  const double worst_loss = 0.55 + 0.4 * burstiness;
+  for (int i = 0; i < n; ++i) {
+    const double t = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+    ChannelRung r;
+    r.p_up = i == 0 ? 0.0 : 0.09 * (1.05 - burstiness);
+    r.p_down = i == n - 1 ? 0.0 : 0.008 * (0.15 + burstiness);
+    // Convex in depth: mid rungs are mildly lossy, the bottom is a fade.
+    r.loss = 0.002 + (worst_loss - 0.002) * t * t;
+    r.goodput_bps = top_goodput_bps * std::pow(0.6, i);
+    s.rungs.push_back(r);
+  }
+  return s;
+}
+
+ChannelModel::ChannelModel(ChannelSpec spec, std::uint64_t run_seed)
+    : spec_{std::move(spec)},
+      seed_{run_seed},
+      shared_{channel_stream(run_seed)} {
+  PP_CHECK(!spec_.rungs.empty(), "channel.spec.rungs");
+}
+
+ChannelModel::ChannelModel(ChannelSpec spec, sim::Rng stream)
+    : spec_{std::move(spec)}, shared_{stream} {
+  spec_.per_client_streams = false;
+  PP_CHECK(!spec_.rungs.empty(), "channel.spec.rungs");
+}
+
+void ChannelModel::set_obs(obs::Hook hook) {
+  (void)hook;
+  PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
+    ctr_attempts_ = m->counter("channel.state.attempts");
+    ctr_losses_ = m->counter("channel.state.losses");
+    ctr_worse_ = m->counter("channel.state.worse_entries");
+  });
+}
+
+ChannelModel::Station& ChannelModel::station(std::uint32_t raw) {
+  auto it = stations_.find(raw);
+  if (it != stations_.end()) return it->second;
+  Station st;
+  if (spec_.per_client_streams) {
+    st.rng.emplace(client_stream_seed(seed_, raw));
+  }
+  return stations_.emplace(raw, std::move(st)).first->second;
+}
+
+// One transition draw: exactly one uniform per step (the legacy
+// Gilbert-Elliott discipline; a two-rung ladder consumes the identical
+// draw sequence the fault layer always has).  Returns true when the chain
+// moved to a worse rung.
+bool ChannelModel::step(Station& st, sim::Rng& rng) {
+  const int last = spec_.num_states() - 1;
+  if (last == 0) return false;
+  const ChannelRung& r = spec_.rungs[static_cast<std::size_t>(st.state)];
+  const double u = rng.uniform();
+  if (st.state == 0) {
+    if (u < r.p_down) {
+      ++st.state;
+      return true;
+    }
+  } else if (st.state == last) {
+    if (u < r.p_up) --st.state;
+  } else {
+    if (u < r.p_up) {
+      --st.state;
+    } else if (u < r.p_up + r.p_down) {
+      ++st.state;
+      return true;
+    }
+  }
+  return false;
+}
+
+ChannelModel::Attempt ChannelModel::finish_attempt(Station& st, sim::Rng& rng,
+                                                   bool worsened) {
+  Attempt a;
+  a.worsened = worsened;
+  a.state = st.state;
+
+  // Loss draw from the post-transition rung, only when it can lose (a zero
+  // probability must not consume randomness — digest compatibility).
+  const double p = spec_.rungs[static_cast<std::size_t>(st.state)].loss;
+  a.lost = p > 0 && rng.chance(p);
+  st.ewma += spec_.ewma_alpha * ((a.lost ? 1.0 : 0.0) - st.ewma);
+
+  ++stats_.attempts;
+  if (a.lost) ++stats_.losses;
+  if (a.worsened) ++stats_.worse_entries;
+  PP_OBS(if (ctr_attempts_) {
+    ctr_attempts_->inc();
+    if (a.lost) ctr_losses_->inc();
+    if (a.worsened) ctr_worse_->inc();
+  });
+  return a;
+}
+
+ChannelModel::Attempt ChannelModel::attempt(net::Ipv4Addr client) {
+  Station& st = station(client.raw());
+  sim::Rng& rng = st.rng ? *st.rng : shared_;
+  return finish_attempt(st, rng, step(st, rng));
+}
+
+ChannelModel::Attempt ChannelModel::attempt_at(net::Ipv4Addr client,
+                                               sim::Time now) {
+  if (spec_.tick_s <= 0.0) return attempt(client);
+  Station& st = station(client.raw());
+  sim::Rng& rng = st.rng ? *st.rng : shared_;
+  // Catch the chain up: one transition draw per tick elapsed since the
+  // station's epoch.  The chain thus evolves in wall-clock time whether or
+  // not the client is being served — a fade ends while a deferred client
+  // sleeps.  The draw count is a pure function of `now`, so replay stays
+  // deterministic and salt-invariant.
+  const auto tick_ns =
+      static_cast<std::int64_t>(spec_.tick_s * 1e9);
+  const std::int64_t target = now.count_ns() / tick_ns;
+  bool worsened = false;
+  for (; st.ticks_done < target; ++st.ticks_done) {
+    worsened = step(st, rng) || worsened;
+  }
+  return finish_attempt(st, rng, worsened);
+}
+
+bool ChannelModel::corrupted(const net::Packet& pkt, net::Ipv4Addr receiver,
+                             sim::Time now) {
+  return attempt_at(station_of(pkt, receiver), now).lost;
+}
+
+ChannelView ChannelModel::view_of(net::Ipv4Addr client) const {
+  ChannelView v;
+  v.num_states = spec_.num_states();
+  const auto it = stations_.find(client.raw());
+  if (it == stations_.end()) {
+    // Never attempted: report the best rung's nominal goodput.
+    v.goodput_bps = spec_.rungs.empty() ? 0.0 : spec_.rungs[0].goodput_bps;
+    return v;
+  }
+  v.known = true;
+  v.state = it->second.state;
+  v.loss_ewma = it->second.ewma;
+  v.goodput_bps =
+      spec_.rungs[static_cast<std::size_t>(v.state)].goodput_bps *
+      (1.0 - v.loss_ewma);
+  return v;
+}
+
+}  // namespace pp::channel

@@ -1,0 +1,32 @@
+// ChannelObserver: the read-only query surface of the channel subsystem.
+//
+// Consumers (the proxy's scheduler policies, diagnostics) see a per-client
+// ChannelView snapshot — current quality rung, estimated goodput, recent
+// loss EWMA — without any way to advance the chain or touch its RNG.
+// Querying is pure: it never draws randomness and never mutates state, so
+// wiring an observer into a run cannot perturb replay digests.
+#pragma once
+
+#include "net/addr.hpp"
+
+namespace pp::channel {
+
+// Snapshot of one client's channel quality at query time.
+struct ChannelView {
+  bool known = false;  // the observer has state for this client
+  int state = 0;       // quality rung, 0 = best
+  int num_states = 1;
+  double loss_ewma = 0.0;    // recent per-attempt loss, EWMA-smoothed
+  double goodput_bps = 0.0;  // rung goodput discounted by the loss EWMA
+
+  // In the worst rung (the Gilbert-Elliott "bad" state).
+  bool bad() const { return known && num_states > 1 && state == num_states - 1; }
+};
+
+class ChannelObserver {
+ public:
+  virtual ~ChannelObserver() = default;
+  virtual ChannelView view_of(net::Ipv4Addr client) const = 0;
+};
+
+}  // namespace pp::channel

@@ -84,6 +84,15 @@ void EnergyAwareClient::deliver(net::Packet pkt, sim::Duration airtime) {
   }
   ++traffic_.packets_received;
   traffic_.bytes_received += pkt.payload;
+  // Downlink datagram delay: UDP data keeps its origin timestamp through
+  // the proxy queue, so now - sent_at is the end-to-end buffering delay.
+  // Burst markers (proxy-originated, src_port == kSchedulePort) are control
+  // plane and excluded.
+  if (pkt.proto == net::Protocol::Udp && !pkt.is_broadcast() &&
+      pkt.src_port != proxy::kSchedulePort) {
+    traffic_.delay_sum += sim_.now() - pkt.sent_at;
+    ++traffic_.delay_samples;
+  }
   // Hand to the stack first (so ACKs go out while we are still awake),
   // then let the daemon act on the marked bit — a marked packet may put
   // the radio to sleep immediately.

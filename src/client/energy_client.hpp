@@ -34,6 +34,10 @@ struct ClientTraffic {
   sim::Duration receive_airtime;
   sim::Duration missed_airtime;
   sim::Duration transmit_airtime;
+  // Downlink UDP datagram delay (origin send to client delivery), data
+  // plane only — schedule broadcasts and burst markers excluded.
+  sim::Duration delay_sum;
+  std::uint64_t delay_samples = 0;
 };
 
 class EnergyAwareClient : public net::WirelessStation {

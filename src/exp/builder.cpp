@@ -161,6 +161,11 @@ ScenarioBuilder& ScenarioBuilder::fault(fault::FaultSpec spec) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::channel(channel::ChannelSpec spec) {
+  cfg_.channel = std::move(spec);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::keep_trace(bool on) {
   cfg_.keep_trace = on;
   return *this;
@@ -224,6 +229,29 @@ ScenarioConfig ScenarioBuilder::build() const {
   for (const double p :
        {ge.p_good_bad, ge.p_bad_good, ge.loss_good, ge.loss_bad}) {
     if (p < 0 || p > 1.0) fail("Gilbert-Elliott probabilities must be in [0, 1]");
+  }
+  if (c.channel.enabled) {
+    if (c.fault.any()) {
+      fail("channel model and fault injection are mutually exclusive (the "
+           "FaultPlan owns the loss model on faulted runs)");
+    }
+    if (c.channel.rungs.size() < 2) {
+      fail("channel model needs at least 2 quality rungs");
+    }
+    if (!(c.channel.ewma_alpha > 0.0 && c.channel.ewma_alpha <= 1.0)) {
+      fail("channel ewma_alpha must be in (0, 1]");
+    }
+    for (const auto& r : c.channel.rungs) {
+      for (const double p : {r.p_up, r.p_down, r.loss}) {
+        if (p < 0 || p > 1.0) {
+          fail("channel rung probabilities must be in [0, 1]");
+        }
+      }
+      if (r.p_up + r.p_down > 1.0) {
+        fail("channel rung p_up + p_down must not exceed 1");
+      }
+      if (!(r.goodput_bps > 0)) fail("channel rung goodput must be positive");
+    }
   }
   const sim::Time horizon = sim::Time::seconds(c.duration_s);
   for (const auto& w : c.fault.windows) {

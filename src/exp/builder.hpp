@@ -71,6 +71,10 @@ class ScenarioBuilder {
   ScenarioBuilder& fault(fault::FaultSpec spec);
   // Mutable access for incremental window building (validated at build()).
   fault::FaultSpec& fault_spec() { return cfg_.fault; }
+  // Channel-quality model (mutually exclusive with fault injection: the
+  // FaultPlan owns the loss model on faulted runs).
+  ScenarioBuilder& channel(channel::ChannelSpec spec);
+  channel::ChannelSpec& channel_spec() { return cfg_.channel; }
   ScenarioBuilder& keep_trace(bool on = true);
   ScenarioBuilder& keep_obs(bool on = true);
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "proxy/policies.hpp"
 #include "workload/ftp.hpp"
 #include "workload/video.hpp"
 #include "workload/web.hpp"
@@ -23,6 +24,9 @@ std::string policy_name(IntervalPolicy p) {
     case IntervalPolicy::Variable: return "variable";
     case IntervalPolicy::StaticEqual100: return "static-100ms";
     case IntervalPolicy::SlottedStatic500: return "slotted-500ms";
+    case IntervalPolicy::LongestQueue500: return "lqf-500ms";
+    case IntervalPolicy::Opportunistic500: return "opportunistic-500ms";
+    case IntervalPolicy::Probabilistic500: return "probabilistic-500ms";
   }
   return "?";
 }
@@ -55,6 +59,15 @@ std::unique_ptr<proxy::Scheduler> make_scheduler(const ScenarioConfig& cfg) {
       return std::make_unique<proxy::SlottedStaticScheduler>(
           sim::Time::ms(500), cfg.slotted_tcp_weight, std::move(udp),
           std::move(tcp));
+    case IntervalPolicy::LongestQueue500:
+      return std::make_unique<proxy::LongestQueueFirstScheduler>(
+          sim::Time::ms(500));
+    case IntervalPolicy::Opportunistic500:
+      return std::make_unique<proxy::ChannelAwareOpportunisticScheduler>(
+          sim::Time::ms(500));
+    case IntervalPolicy::Probabilistic500:
+      return std::make_unique<proxy::BufferAwareProbabilisticScheduler>(
+          sim::Time::ms(500), cfg.seed);
   }
   throw std::logic_error("unknown policy");
 }
@@ -83,6 +96,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   tp.proxy.schedule_repeats = cfg.schedule_repeats;
   tp.proxy.repeat_spacing = cfg.schedule_repeat_spacing;
   tp.fault = cfg.fault;
+  tp.channel = cfg.channel;
 
   Testbed bed{tp, make_scheduler(cfg)};
 
@@ -168,6 +182,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     r.packets_received = cl.traffic().packets_received;
     r.packets_missed = cl.traffic().packets_missed;
     r.bytes_received = cl.traffic().bytes_received;
+    r.delay_samples = cl.traffic().delay_samples;
+    r.mean_delay_ms = r.delay_samples > 0
+                          ? cl.traffic().delay_sum.to_ms() /
+                                static_cast<double>(r.delay_samples)
+                          : 0;
     r.schedules_received = cl.daemon_stats().schedules_received;
     r.schedules_missed = cl.daemon_stats().schedules_missed;
     r.sleeps = cl.daemon_stats().sleeps;

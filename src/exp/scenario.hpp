@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/spec.hpp"
 #include "client/power_daemon.hpp"
 #include "exp/testbed.hpp"
 #include "fault/spec.hpp"
@@ -35,6 +36,10 @@ enum class IntervalPolicy {
   Variable,
   StaticEqual100,   // Section 4.3 static-schedule comparison
   SlottedStatic500,  // Figure 7: fixed TCP + UDP slots
+  // -- Policy zoo (src/proxy/policies.hpp): queue/channel-aware layouts ----------
+  LongestQueue500,   // max-queue priority, tail starved
+  Opportunistic500,  // defer bad-channel clients within deadline slack
+  Probabilistic500,  // randomized buffer-threshold admission
 };
 std::string policy_name(IntervalPolicy p);
 
@@ -69,6 +74,11 @@ struct ScenarioConfig {
   // -- Fault injection & graceful degradation (see src/fault/) -------------------
   // Gilbert–Elliott channel and typed fault windows; empty = no faults.
   fault::FaultSpec fault{};
+  // -- Channel-quality model (see src/channel/) ----------------------------------
+  // Per-client multi-state loss ladder with deterministic per-client RNG
+  // streams; mutually exclusive with `fault` (the FaultPlan owns the loss
+  // model on faulted runs).  Disabled = the flat wireless_p_loss above.
+  channel::ChannelSpec channel{};
   // Proxy schedule hardening: SRP broadcast transmissions per interval.
   int schedule_repeats = 1;
   sim::Duration schedule_repeat_spacing = sim::Time::ms(3);
@@ -99,6 +109,9 @@ struct ClientResult {
   // Application-level metrics (role-dependent).
   double app_loss_pct = 0;       // video: sequence-gap loss
   int video_fidelity_final = -1; // video: fidelity after adaptation
+  // pp-lint: allow(naked-duration): derived report statistic, not sim state
+  double mean_delay_ms = 0;      // mean downlink UDP datagram delay
+  std::uint64_t delay_samples = 0;
   // pp-lint: allow(naked-duration): derived report statistic, not sim state
   double page_time_ms = 0;       // web: mean page completion time
   int pages_completed = 0;       // web

@@ -113,7 +113,8 @@ void write_record(std::ostream& os, const RunRecord& r) {
        << ' ' << c.coast_breaks << ' ' << fmt_f(c.app_loss_pct) << ' '
        << c.video_fidelity_final << ' ' << fmt_f(c.page_time_ms) << ' '
        << c.pages_completed << ' ' << fmt_f(c.ftp_seconds) << ' '
-       << c.app_bytes << '\n';
+       << c.app_bytes << ' ' << fmt_f(c.mean_delay_ms) << ' '
+       << c.delay_samples << '\n';
   }
   os << "end\n";
 }
@@ -171,7 +172,8 @@ bool read_record(std::istream& is, RunRecord& out) {
         !read_u64(is, c.repeats_deduped) || !read_u64(is, c.coast_breaks) ||
         !read_f(is, c.app_loss_pct) || !read_int(is, c.video_fidelity_final) ||
         !read_f(is, c.page_time_ms) || !read_int(is, c.pages_completed) ||
-        !read_f(is, c.ftp_seconds) || !read_u64(is, c.app_bytes)) {
+        !read_f(is, c.ftp_seconds) || !read_u64(is, c.app_bytes) ||
+        !read_f(is, c.mean_delay_ms) || !read_u64(is, c.delay_samples)) {
       return false;
     }
     c.ip = net::Ipv4Addr{static_cast<std::uint32_t>(ip_raw)};

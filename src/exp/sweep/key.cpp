@@ -107,6 +107,19 @@ std::string canonical_config(const ScenarioConfig& cfg) {
   put_i64(out, "schedule_repeat_spacing_ns",
           cfg.schedule_repeat_spacing.count_ns());
   put_b(out, "miss_escalation", cfg.miss_escalation);
+  put_b(out, "channel.enabled", cfg.channel.enabled);
+  if (cfg.channel.enabled) {
+    put_b(out, "channel.per_client_streams", cfg.channel.per_client_streams);
+    put_f(out, "channel.ewma_alpha", cfg.channel.ewma_alpha);
+    put_f(out, "channel.tick_s", cfg.channel.tick_s);
+    put_u64(out, "channel.rungs", cfg.channel.rungs.size());
+    for (const auto& r : cfg.channel.rungs) {
+      put_f(out, "channel.rung.p_up", r.p_up);
+      put_f(out, "channel.rung.p_down", r.p_down);
+      put_f(out, "channel.rung.loss", r.loss);
+      put_f(out, "channel.rung.goodput_bps", r.goodput_bps);
+    }
+  }
   return out;
 }
 
@@ -114,7 +127,7 @@ std::string canonical_config(const ScenarioConfig& cfg) {
 // extend canonical_config above and bump kCodeVersionSalt, then update the
 // pinned size.  Other ABIs skip the check rather than pin a wrong number.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(ScenarioConfig) == 352,
+static_assert(sizeof(ScenarioConfig) == 400,
               "ScenarioConfig changed: update canonical_config() and bump "
               "kCodeVersionSalt");
 #endif

@@ -34,7 +34,9 @@ namespace pp::exp::sweep {
 // format, RunRecord serialization, or simulation semantics.
 // 0002: event-engine overhaul (pooled callbacks, 4-ary heap) — digests are
 // unchanged by design, but perf baselines must be re-measured cold.
-inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0002ULL;
+// 0003: channel-quality subsystem + policy zoo — new canonical_config
+// fields (channel.*), new RunRecord columns (mean_delay_ms/delay_samples).
+inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0003ULL;
 
 // Deterministic text rendering of every config field ("k=v\n" lines).
 std::string canonical_config(const ScenarioConfig& cfg);

@@ -53,6 +53,20 @@ Testbed::Testbed(TestbedParams params,
     });
   }
 
+  // Channel-quality model: replaces the medium's flat p_loss with the
+  // per-client state ladder and gives the proxy a quality observer.  On
+  // faulted runs the FaultPlan owns the loss model instead, but its GE
+  // chain (when present) still serves the proxy as a read-only observer.
+  if (params_.channel.enabled) {
+    PP_CHECK(!params_.fault.any(), "exp.testbed.channel_vs_fault");
+    channel_ = std::make_unique<channel::ChannelModel>(params_.channel,
+                                                       params_.seed);
+    medium_.set_loss_model(channel_.get());
+    proxy_->set_channel_observer(channel_.get());
+  } else if (fault_ && fault_->channel_observer() != nullptr) {
+    proxy_->set_channel_observer(fault_->channel_observer());
+  }
+
   // Clients.
   clients_.reserve(params_.num_clients);
   for (int i = 0; i < params_.num_clients; ++i) {
@@ -73,6 +87,7 @@ Testbed::Testbed(TestbedParams params,
     ap_.set_obs(hook);
     proxy_->set_obs(hook);
     if (fault_) fault_->set_obs(hook);
+    if (channel_) channel_->set_obs(hook);
     for (auto& c : clients_) c->set_obs(hook);
   }
 #endif

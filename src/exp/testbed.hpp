@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "channel/model.hpp"
 #include "check/audit.hpp"
 #include "client/energy_client.hpp"
 #include "fault/plan.hpp"
@@ -44,6 +45,12 @@ struct TestbedParams {
   // is constructed from the run seed and wired to the medium, AP, the
   // proxy <-> AP link, and the proxy's pause control; arm() runs at start().
   fault::FaultSpec fault{};
+  // Channel-quality model (see src/channel/).  When enabled a ChannelModel
+  // with per-client deterministic streams replaces the medium's flat p_loss
+  // and the proxy observes per-client state at each SRP.  Mutually
+  // exclusive with `fault` — the FaultPlan owns the loss model on faulted
+  // runs (its GE chain is exposed to the proxy as a read-only observer).
+  channel::ChannelSpec channel{};
   // Attach a MetricsRegistry + Timeline to every component.  Disable to
   // run with all instrumentation hooks detached (near-zero overhead; see
   // bench/micro_obs_overhead.cpp for the compile-time-off path).
@@ -103,6 +110,8 @@ class Testbed {
   check::Auditor* auditor() { return auditor_.get(); }
   // The fault plan (null when params.fault is empty).
   fault::FaultPlan* fault_plan() { return fault_.get(); }
+  // The channel model (null unless params.channel.enabled).
+  channel::ChannelModel* channel_model() { return channel_.get(); }
 
  private:
   TestbedParams params_;
@@ -116,6 +125,7 @@ class Testbed {
   std::unique_ptr<net::ChannelSink> ap_uplink_sink_;
   trace::MonitoringStation monitor_;
   std::unique_ptr<fault::FaultPlan> fault_;
+  std::unique_ptr<channel::ChannelModel> channel_;
   std::shared_ptr<obs::Observer> observer_;
   std::unique_ptr<check::Auditor> auditor_;
   std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;

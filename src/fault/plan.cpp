@@ -38,7 +38,19 @@ sim::Rng fault_stream(std::uint64_t run_seed) {
 
 FaultPlan::FaultPlan(sim::Simulator& sim, FaultSpec spec,
                      std::uint64_t run_seed)
-    : sim_{sim}, spec_{std::move(spec)}, rng_{fault_stream(run_seed)} {}
+    : sim_{sim}, spec_{std::move(spec)}, rng_{fault_stream(run_seed)} {
+  if (spec_.ge.enabled) {
+    // Delegate the chain to the channel subsystem in shared-stream mode,
+    // seeded with the same named fault stream the private implementation
+    // used: the draw sequence (one transition draw per attempt, a loss
+    // draw only when the rung can lose) is reproduced bit for bit.
+    ge_chain_ = std::make_unique<channel::ChannelModel>(
+        channel::ChannelSpec::two_state(spec_.ge.p_good_bad,
+                                        spec_.ge.p_bad_good,
+                                        spec_.ge.loss_good, spec_.ge.loss_bad),
+        fault_stream(run_seed));
+  }
+}
 
 void FaultPlan::attach_medium(net::WirelessMedium& medium) {
   base_p_loss_ = medium.params().p_loss;
@@ -126,7 +138,7 @@ bool FaultPlan::corrupted(const net::Packet& pkt, net::Ipv4Addr receiver,
   // The wireless channel belongs to the (client, AP) pair: downlink frames
   // carry the client as receiver; uplink frames reach the AP radio (address
   // 0.0.0.0), so the transmitting client identifies the channel.
-  const net::Ipv4Addr chan = receiver.raw() != 0 ? receiver : pkt.src;
+  const net::Ipv4Addr chan = channel::station_of(pkt, receiver);
 
   // Deep fades dominate: total loss on the faded channel, no RNG consumed,
   // so fade windows never perturb the draw sequence of other channels.
@@ -139,18 +151,12 @@ bool FaultPlan::corrupted(const net::Packet& pkt, net::Ipv4Addr receiver,
     }
   }
 
-  if (spec_.ge.enabled) {
-    GeState& st = ge_[chan.raw()];
-    // Advance the chain one step per delivery attempt, then draw loss from
-    // the state's own probability.
-    if (st.bad) {
-      if (rng_.chance(spec_.ge.p_bad_good)) st.bad = false;
-    } else if (rng_.chance(spec_.ge.p_good_bad)) {
-      st.bad = true;
-      ++stats_.ge_bad_entries;
-    }
-    const double p = st.bad ? spec_.ge.loss_bad : spec_.ge.loss_good;
-    if (p > 0 && rng_.chance(p)) {
+  if (ge_chain_) {
+    // One chain step per delivery attempt; the delegated model keeps no obs
+    // hook of its own here, so fault counters stay the only publication.
+    const channel::ChannelModel::Attempt a = ge_chain_->attempt(chan);
+    if (a.worsened) ++stats_.ge_bad_entries;
+    if (a.lost) {
       ++stats_.ge_losses;
       PP_OBS(if (ctr_ge_losses_) ctr_ge_losses_->inc());
       return true;

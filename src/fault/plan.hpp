@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
+#include "channel/model.hpp"
 #include "fault/spec.hpp"
 #include "net/link.hpp"
 #include "net/wireless.hpp"
@@ -76,11 +78,15 @@ class FaultPlan : public net::ChannelLossModel {
   // True while any window of `kind` is open (diagnostics / tests).
   bool active(FaultKind kind) const;
 
- private:
-  struct GeState {
-    bool bad = false;
-  };
+  // Query surface over the delegated Gilbert-Elliott chain (null when the
+  // chain is disabled).  The proxy's channel-aware policies consume this on
+  // faulted runs; querying never draws RNG, so wiring it cannot perturb
+  // replay digests.
+  const channel::ChannelObserver* channel_observer() const {
+    return ge_chain_.get();
+  }
 
+ private:
   void activate(const FaultWindow& w);
   void recover(const FaultWindow& w);
   void apply(const FaultWindow& w, bool on);
@@ -95,9 +101,11 @@ class FaultPlan : public net::ChannelLossModel {
   net::Channel* link_up_ = nullptr;
   std::function<void(bool)> proxy_pause_;
 
-  // Per-channel GE chain state, keyed by the client-side station address
-  // (ordered map: lookup paths must not depend on hash-bucket layout).
-  std::map<std::uint32_t, GeState> ge_;
+  // The Gilbert-Elliott chain, delegated to the channel subsystem in
+  // shared-stream mode: the model replays the exact per-attempt draw
+  // sequence this class produced when it owned the chain privately, so
+  // faulted-run digests are unchanged.  Null when spec_.ge is disabled.
+  std::unique_ptr<channel::ChannelModel> ge_chain_;
   // Open-window depth per kind, so overlapping windows of one kind nest.
   std::map<FaultKind, int> depth_;
 

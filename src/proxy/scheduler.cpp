@@ -5,9 +5,7 @@
 #include "check/check.hpp"
 
 namespace pp::proxy {
-namespace {
 
-// Channel time to drain one client's queue, TCP acks included.
 sim::Duration demand_cost(const ClientDemand& d, const BandwidthEstimator& est,
                           const SlotParams& sp) {
   const sim::Duration udp =
@@ -16,7 +14,6 @@ sim::Duration demand_cost(const ClientDemand& d, const BandwidthEstimator& est,
   return udp + est.bulk_cost(d.tcp_bytes, sp.mtu, sp.tcp_ack_bytes);
 }
 
-// Lay out entries back-to-back starting at `lead`, in the order given.
 std::vector<ScheduleEntry> lay_out(
     const std::vector<std::pair<net::Ipv4Addr, sim::Duration>>& slots,
     sim::Duration lead) {
@@ -30,7 +27,11 @@ std::vector<ScheduleEntry> lay_out(
   return entries;
 }
 
-}  // namespace
+bool slots_conflict(const ScheduleEntry& a, const ScheduleEntry& b) {
+  if (a.kind == SlotKind::TcpOnly && b.kind == SlotKind::TcpOnly) return false;
+  return a.rp_offset + a.duration > b.rp_offset &&
+         b.rp_offset + b.duration > a.rp_offset;
+}
 
 BuiltSchedule FixedIntervalScheduler::build(
     const std::vector<ClientDemand>& demands, const BandwidthEstimator& est) {

@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "channel/observer.hpp"
+#include "obs/hooks.hpp"
 #include "proxy/bandwidth.hpp"
 #include "proxy/schedule.hpp"
 #include "sim/time.hpp"
@@ -33,6 +35,13 @@ struct ClientDemand {
   // Queued datagram count (UDP keeps its original framing, so its channel
   // cost depends on the packet count, not just bytes).
   std::uint64_t udp_packets = 0;
+  // Per-client channel quality at the SRP (default view when no channel
+  // observer is wired: unknown, treated as good).
+  channel::ChannelView channel{};
+  // Time left before the oldest queued datagram exceeds the proxy's delay
+  // target; the full target when nothing is queued.  A zero slack means
+  // "already late" — policies must not defer such a client.
+  sim::Duration deadline_slack{};
 
   std::uint64_t total() const { return udp_bytes + tcp_bytes; }
 };
@@ -58,7 +67,28 @@ class Scheduler {
   virtual ~Scheduler() = default;
   virtual BuiltSchedule build(const std::vector<ClientDemand>& demands,
                               const BandwidthEstimator& est) = 0;
+  // Publish sched.policy.* counters (default: nothing to publish).  The
+  // proxy forwards its own hook here at wiring time.
+  virtual void set_obs(obs::Hook hook) { (void)hook; }
 };
+
+// -- Shared policy helpers ---------------------------------------------------------
+
+// Channel time to drain one client's queue, TCP acks included.
+sim::Duration demand_cost(const ClientDemand& d, const BandwidthEstimator& est,
+                          const SlotParams& sp);
+
+// Lay out entries back-to-back starting at `lead`, in the order given.
+std::vector<ScheduleEntry> lay_out(
+    const std::vector<std::pair<net::Ipv4Addr, sim::Duration>>& slots,
+    sim::Duration lead);
+
+// The slot non-overlap invariant (see src/check): true when two entries of
+// one interval illegally share channel time.  TcpOnly pairs are exempt —
+// the static TCP schedule deliberately gives all TCP clients one shared
+// listening slot.  Used by the proxy's schedule_tick PP_CHECK and by the
+// scheduler tests.
+bool slots_conflict(const ScheduleEntry& a, const ScheduleEntry& b);
 
 class FixedIntervalScheduler final : public Scheduler {
  public:

@@ -58,6 +58,7 @@ void TransparentProxy::set_obs(obs::Hook hook) {
     twg_queue_depth_ = m->time_gauge("proxy.queue_depth_bytes");
     twg_queue_depth_->set(sim_.now(), static_cast<double>(total_q_bytes_));
   });
+  scheduler_->set_obs(hook);
 }
 
 void TransparentProxy::start(sim::Time first_srp) {
@@ -313,23 +314,27 @@ void TransparentProxy::schedule_tick() {
       if (s->client_side->close_pending() || s->client_side->fin_unacked())
         d.tcp_bytes += 40;
     }
+    // Deadline slack: how long the oldest buffered datagram can still wait
+    // before blowing the delay target.  Full target when nothing is queued.
+    d.deadline_slack = params_.delay_target;
+    if (!cs.pkt_q.empty()) {
+      const sim::Duration age = sim_.now() - cs.pkt_q.front().sent_at;
+      d.deadline_slack = age >= params_.delay_target
+                             ? sim::Time::zero()
+                             : params_.delay_target - age;
+    }
+    if (channel_obs_ != nullptr) d.channel = channel_obs_->view_of(ip);
     demands.push_back(d);
   }
 
   BuiltSchedule built = scheduler_->build(demands, estimator_);
 
   // Slot non-overlap invariant: no two bursts of one interval may share
-  // channel time, or clients would sleep through each other's data.
-  // TcpOnly slots are exempt among themselves — the static TCP schedule
-  // deliberately gives all TCP clients one shared listening slot.
+  // channel time, or clients would sleep through each other's data
+  // (TcpOnly pairs are exempt — see slots_conflict).
   for (std::size_t i = 0; i < built.entries.size(); ++i) {
     for (std::size_t j = i + 1; j < built.entries.size(); ++j) {
-      const ScheduleEntry& a = built.entries[i];
-      const ScheduleEntry& b = built.entries[j];
-      if (a.kind == SlotKind::TcpOnly && b.kind == SlotKind::TcpOnly)
-        continue;
-      PP_CHECK_AT(a.rp_offset + a.duration <= b.rp_offset ||
-                      b.rp_offset + b.duration <= a.rp_offset,
+      PP_CHECK_AT(!slots_conflict(built.entries[i], built.entries[j]),
                   "proxy.schedule.slot_overlap", sim_.now());
     }
   }

@@ -66,6 +66,13 @@ struct ProxyParams {
   // still anchors on the original SRP.
   int schedule_repeats = 1;
   sim::Duration repeat_spacing = sim::Time::ms(3);
+  // Downlink delay target used to compute per-client deadline slack for the
+  // scheduler (time the oldest queued datagram can still wait).  Policies
+  // that ignore slack (the paper's own schedulers) are unaffected.  Must
+  // exceed 2x the SRP interval for deferral to ever be safe: the oldest
+  // queued packet at an SRP is typically one interval old already, so a
+  // target below 2 intervals makes every client permanently urgent.
+  sim::Duration delay_target = sim::Time::ms(2000);
   transport::TcpOptions server_side_tcp{};  // manual_consume forced on
   transport::TcpOptions client_side_tcp{};  // defer_rtx_when_gated forced on
 };
@@ -126,6 +133,15 @@ class TransparentProxy {
 
   // Pre-register a client so it appears in schedules before any traffic.
   void register_client(net::Ipv4Addr ip) { client_state(ip); }
+
+  // Wire a channel-quality observer (owned elsewhere — typically the
+  // testbed's ChannelModel, or the FaultPlan's delegated GE chain).  When
+  // set, each SRP's demand snapshot carries the per-client ChannelView so
+  // channel-aware policies can act on it.  Queries only: never perturbs
+  // the observed model's RNG streams.
+  void set_channel_observer(const channel::ChannelObserver* obs) {
+    channel_obs_ = obs;
+  }
 
   // Publish schedule/burst/drop metrics and timeline spans.  Also forwarded
   // to the TCP connections of every splice created afterwards.
@@ -193,6 +209,7 @@ class TransparentProxy {
 
   sim::Simulator& sim_;
   std::unique_ptr<Scheduler> scheduler_;
+  const channel::ChannelObserver* channel_obs_ = nullptr;
   ProxyParams params_;
   BandwidthEstimator estimator_;
   Sink wired_sink_;

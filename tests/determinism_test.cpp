@@ -197,6 +197,115 @@ TEST(DeterminismTest, DigestIsSensitiveToFaultSpec) {
   EXPECT_NE(run_digest(a), run_digest(b));
 }
 
+// -- Policy zoo determinism --------------------------------------------------------
+
+// Each new policy on a bursty per-client channel: digests must survive the
+// hash-salt permutation (channel streams are named, per-client chain state
+// lives in ordered maps, policy layout order never follows bucket order).
+ScenarioConfig channel_policy_config(IntervalPolicy p) {
+  return ScenarioBuilder{}
+      .roles({1, 1, 2})
+      .policy(p)
+      .duration_s(10.0)
+      .wireless_p_loss(0.0)
+      .channel(channel::ChannelSpec::ladder(3, 0.8))
+      .build();
+}
+
+class PolicyDeterminismTest : public ::testing::TestWithParam<IntervalPolicy> {
+};
+
+TEST_P(PolicyDeterminismTest, DigestInvariantUnderHashSalt) {
+  const ScenarioConfig cfg = channel_policy_config(GetParam());
+  std::uint64_t d1 = 0;
+  std::uint64_t d2 = 0;
+  {
+    ScopedHashSalt s{1};
+    d1 = run_digest(cfg);
+  }
+  {
+    ScopedHashSalt s{99991};
+    d2 = run_digest(cfg);
+  }
+  EXPECT_NE(d1, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+TEST_P(PolicyDeterminismTest, SameConfigSameDigest) {
+  const ScenarioConfig cfg = channel_policy_config(GetParam());
+  ScopedHashSalt s{1};
+  EXPECT_EQ(run_digest(cfg), run_digest(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PolicyDeterminismTest,
+                         ::testing::Values(IntervalPolicy::LongestQueue500,
+                                           IntervalPolicy::Opportunistic500,
+                                           IntervalPolicy::Probabilistic500));
+
+TEST(DeterminismTest, DigestIsSensitiveToChannelSpec) {
+  ScopedHashSalt s{1};
+  const ScenarioConfig a =
+      channel_policy_config(IntervalPolicy::Opportunistic500);
+  ScenarioConfig b = a;
+  b.channel = channel::ChannelSpec::ladder(3, 0.3);  // calmer ladder
+  EXPECT_NE(run_digest(a), run_digest(b));
+}
+
+// -- Pinned digests (reference toolchain) ------------------------------------------
+
+// Bit-exact fingerprints of the pre-existing scenarios, captured before the
+// channel subsystem landed.  These runs do not enable the channel model, so
+// promoting the Gilbert-Elliott chain out of fault:: and widening the
+// scheduler contract must not move a single draw: any diff here means the
+// refactor changed legacy behaviour.  Values match tools/digest/pp_digest
+// under PP_HASH_SEED=1 on the reference toolchain.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+
+ScenarioConfig digest_base() {
+  ScenarioConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.web_pages = 4;
+  cfg.ftp_bytes = 400'000;
+  return cfg;
+}
+
+TEST(PinnedDigestTest, LegacyScenariosUnchanged) {
+  ScopedHashSalt s{1};
+  ScenarioConfig all_video = digest_base();
+  all_video.roles = {1, 1, 2, 3};
+  EXPECT_EQ(run_digest(all_video), 0x36ae2530467a19e8ull);
+
+  ScenarioConfig mixed = digest_base();
+  mixed.roles = {1, 2, kRoleWeb, kRoleFtp};
+  mixed.policy = IntervalPolicy::Variable;
+  EXPECT_EQ(run_digest(mixed), 0xe5a7a5fe7ee7dca3ull);
+
+  ScenarioConfig web = digest_base();
+  web.roles = {kRoleWeb, kRoleWeb};
+  web.policy = IntervalPolicy::Fixed100;
+  EXPECT_EQ(run_digest(web), 0x48c1dede55485a41ull);
+}
+
+TEST(PinnedDigestTest, FaultedScenariosUnchangedAcrossGeDelegation) {
+  ScopedHashSalt s{1};
+  // The full fault battery (faulted_config above).
+  EXPECT_EQ(run_digest(faulted_config()), 0xcf2e01fc6e854f7bull);
+
+  // Pure Gilbert-Elliott corruption, no windows: the delegated
+  // channel::ChannelModel must consume the exact legacy draw sequence.
+  ScenarioConfig ge = digest_base();
+  ge.roles = {1, 1, 2, kRoleWeb};
+  ge.duration_s = 15.0;
+  ge.web_pages = 3;
+  ge.fault.ge.enabled = true;
+  ge.fault.ge.p_good_bad = 0.01;
+  ge.fault.ge.p_bad_good = 0.05;
+  ge.fault.ge.loss_bad = 0.85;
+  EXPECT_EQ(run_digest(ge), 0xb45ed35ec72508cfull);
+}
+
+#endif  // __GLIBCXX__ && __x86_64__
+
 #endif  // PP_OBS_ENABLED
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "channel/spec.hpp"
 #include "exp/digest.hpp"
 #include "net/addr.hpp"
 
@@ -45,12 +46,38 @@ int main() {
       {"all_video_fixed500", base()},
       {"mixed_variable", base()},
       {"web_fixed100", base()},
+      {"ge_faulted", base()},
+      {"lqf_channel", base()},
+      {"opportunistic_channel", base()},
+      {"probabilistic_channel", base()},
   };
   scenarios[0].cfg.roles = {1, 1, 2, 3};
   scenarios[1].cfg.roles = {1, 2, pp::exp::kRoleWeb, pp::exp::kRoleFtp};
   scenarios[1].cfg.policy = IntervalPolicy::Variable;
   scenarios[2].cfg.roles = {pp::exp::kRoleWeb, pp::exp::kRoleWeb};
   scenarios[2].cfg.policy = IntervalPolicy::Fixed100;
+  // Gilbert-Elliott corruption via the fault layer (shared-stream channel
+  // delegation): pins the FaultPlan -> ChannelModel draw compatibility.
+  {
+    ScenarioConfig& c = scenarios[3].cfg;
+    c.roles = {1, 1, 2, pp::exp::kRoleWeb};
+    c.duration_s = 15.0;
+    c.web_pages = 3;
+    c.fault.ge.enabled = true;
+    c.fault.ge.p_good_bad = 0.01;
+    c.fault.ge.p_bad_good = 0.05;
+    c.fault.ge.loss_bad = 0.85;
+  }
+  // The policy zoo on a bursty per-client channel ladder.
+  for (int i = 4; i <= 6; ++i) {
+    ScenarioConfig& c = scenarios[i].cfg;
+    c.roles = {1, 1, 2, 2};
+    c.wireless_p_loss = 0.0;
+    c.channel = pp::channel::ChannelSpec::ladder(3, 0.8);
+  }
+  scenarios[4].cfg.policy = IntervalPolicy::LongestQueue500;
+  scenarios[5].cfg.policy = IntervalPolicy::Opportunistic500;
+  scenarios[6].cfg.policy = IntervalPolicy::Probabilistic500;
 
   for (const Named& s : scenarios) {
     const std::uint64_t d = pp::exp::run_digest(s.cfg);
