@@ -152,6 +152,7 @@ void AccessPoint::send_beacon() {
   msg->beacon_interval = beacon_interval_;
   // Sorted so the TIM element order (and hence beacon payload size per
   // station order downstream) never depends on hash-bucket layout.
+  msg->tim.reserve(psm_queues_.size());
   for (const auto* kv : check::sorted_items(psm_queues_))
     if (!kv->second.frames.empty()) msg->tim.push_back(kv->first);
 
