@@ -21,8 +21,9 @@ std::string Ipv4Addr::str() const {
 std::ostream& operator<<(std::ostream& os, Ipv4Addr a) { return os << a.str(); }
 
 std::string FlowKey::str() const {
+  // pp-lint: allow(hot-path-alloc): cold debug rendering (trace/log only)
   return src.str() + ":" + std::to_string(src_port) + "->" + dst.str() + ":" +
-         std::to_string(dst_port) + "/" + to_string(proto);
+         std::to_string(dst_port) + "/" + to_string(proto);  // pp-lint: allow(hot-path-alloc): cold debug rendering
 }
 
 }  // namespace pp::net

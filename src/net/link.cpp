@@ -69,6 +69,7 @@ bool EthernetLan::send(PortId from, Packet pkt) {
   } else if (default_port_ != static_cast<PortId>(-1)) {
     to = default_port_;
   } else {
+    // pp-lint: allow(hot-path-alloc): error-path message; the throw aborts
     throw std::runtime_error("EthernetLan: no route for " + pkt.dst.str());
   }
   if (to == from) return false;  // would loop back; treat as misrouted

@@ -9,6 +9,7 @@ Node::Node(sim::Simulator& sim, Ipv4Addr ip, std::string name)
     : sim_{sim}, ip_{ip}, name_{std::move(name)} {}
 
 void Node::send(Packet pkt) {
+  // pp-lint: allow(hot-path-alloc): error-path message; the throw aborts
   if (!tx_) throw std::logic_error("Node " + name_ + ": no transmitter");
   pkt.sent_at = sim_.now();
   tx_(std::move(pkt));
@@ -16,6 +17,7 @@ void Node::send(Packet pkt) {
 
 void Node::bind_udp(Port port, DatagramHandler& h) {
   if (!udp_.emplace(port, &h).second)
+    // pp-lint: allow(hot-path-alloc): error-path message; the throw aborts
     throw std::logic_error(name_ + ": UDP port already bound");
 }
 
@@ -23,6 +25,7 @@ void Node::unbind_udp(Port port) { udp_.erase(port); }
 
 void Node::register_tcp(const FlowKey& incoming, SegmentHandler& h) {
   if (!tcp_.emplace(incoming, &h).second)
+    // pp-lint: allow(hot-path-alloc): error-path message; the throw aborts
     throw std::logic_error(name_ + ": TCP flow already registered: " +
                            incoming.str());
 }

@@ -32,7 +32,7 @@ class DatagramHandler {
 // Accepts incoming TCP connections on a listening port.  Returns the
 // handler for the new connection (which the node registers), or nullptr
 // to refuse.
-// pp-lint: allow(std-function): constructed once per listener at wiring
+// pp-lint: allow(hot-path-alloc): constructed once per listener at wiring
 using TcpAcceptFn = std::function<SegmentHandler*(const Packet& syn)>;
 
 class Node : public PacketSink {
@@ -43,7 +43,7 @@ class Node : public PacketSink {
   Ipv4Addr ip() const { return ip_; }
   const std::string& name() const { return name_; }
 
-  // pp-lint: allow(std-function): constructed once at topology wiring
+  // pp-lint: allow(hot-path-alloc): constructed once at topology wiring
   void set_transmitter(std::function<void(Packet)> tx) { tx_ = std::move(tx); }
 
   // Stamp sent_at and hand to the transmitter.
@@ -71,7 +71,7 @@ class Node : public PacketSink {
   sim::Simulator& sim_;
   Ipv4Addr ip_;
   std::string name_;
-  // pp-lint: allow(std-function): assigned once; invocation does not allocate
+  // pp-lint: allow(hot-path-alloc): assigned once; invocation does not allocate
   std::function<void(Packet)> tx_;
   Port next_port_ = 40000;
   std::unordered_map<Port, DatagramHandler*> udp_;

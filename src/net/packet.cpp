@@ -13,6 +13,7 @@ Packet make_packet() {
 }
 
 std::string Packet::str() const {
+  // pp-lint: allow(hot-path-alloc): cold debug rendering (trace/log only)
   std::ostringstream os;
   os << "#" << id << " " << flow().str() << " len=" << payload;
   if (proto == Protocol::Tcp) {

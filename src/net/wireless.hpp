@@ -91,7 +91,7 @@ struct SnifferRecord {
   bool from_ap = false;
   bool delivered = false;
 };
-// pp-lint: allow(std-function): sniffers are test/monitor-only instruments
+// pp-lint: allow(hot-path-alloc): sniffers are test/monitor-only instruments
 using SnifferFn = std::function<void(const SnifferRecord&)>;
 
 class WirelessMedium {

@@ -13,7 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
-#include <new>
+#include <new>  // pp-lint: allow(raw-new): header name, not an expression
 
 #include "exp/builder.hpp"
 #include "exp/scenario.hpp"
@@ -34,16 +34,18 @@ void* counted_alloc(std::size_t n) {
 
 }  // namespace
 
-void* operator new(std::size_t n) { return counted_alloc(n); }
-void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n) { return counted_alloc(n); }  // pp-lint: allow(raw-new): counting operator new replacement under test
+void* operator new[](std::size_t n) { return counted_alloc(n); }  // pp-lint: allow(raw-new): counting operator new replacement under test
+// pp-lint: allow(raw-new): counting operator new replacement under test
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
   ++g_allocs;
   return std::malloc(n ? n : 1);
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }  // pp-lint: allow(raw-delete): operator delete replacement under test
+void operator delete[](void* p) noexcept { std::free(p); }  // pp-lint: allow(raw-delete): operator delete replacement under test
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }  // pp-lint: allow(raw-delete): operator delete replacement under test
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }  // pp-lint: allow(raw-delete): operator delete replacement under test
+// pp-lint: allow(raw-delete): operator delete replacement under test
 void operator delete(void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }

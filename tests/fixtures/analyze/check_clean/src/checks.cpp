@@ -1,0 +1,8 @@
+// Negative fixture: comparisons, lambdas with default capture, shifts.
+#define PP_CHECK(cond, comp) ((void)(cond), (void)(comp))
+void fixture(int x, int y) {
+  PP_CHECK(x == y, "fixture.eq");
+  PP_CHECK(x != y && x >= 0, "fixture.ne");
+  PP_CHECK([=] { return x <= y; }(), "fixture.lambda");
+  PP_CHECK((x >> 1) < (y << 1), "fixture.shift");
+}

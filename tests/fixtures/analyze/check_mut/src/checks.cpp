@@ -1,0 +1,10 @@
+// Positive fixture: three mutating checks among passing ones.
+#define PP_CHECK(cond, comp) ((void)(cond), (void)(comp))
+#define PP_CHECK_AT(cond, comp, t) ((void)(cond), (void)(comp), (void)(t))
+void fixture(int x, int y) {
+  PP_CHECK(x == y, "fixture.eq");
+  PP_CHECK(x <= y, "fixture.le");
+  PP_CHECK(++x > 0, "fixture.increment");
+  PP_CHECK(x = y, "fixture.assign");
+  PP_CHECK_AT(x += 2, "fixture.compound", 0);
+}

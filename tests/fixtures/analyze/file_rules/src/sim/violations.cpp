@@ -1,0 +1,16 @@
+// Positive fixture for the single-file families.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+int fixture() {
+  auto t = std::chrono::system_clock::now();
+  std::mt19937 gen(42);
+  int* leak = new int{static_cast<int>(gen())};
+  int sleep_ms = 5;
+  std::unordered_map<int, int> table;
+  int sum = sleep_ms;
+  for (const auto& kv : table) sum += kv.second;
+  delete leak;
+  return sum + static_cast<int>(t.time_since_epoch().count());
+}

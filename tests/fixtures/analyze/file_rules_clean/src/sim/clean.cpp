@@ -1,0 +1,12 @@
+// Negative fixture: the deterministic idioms the rules steer toward.
+#include <map>
+#include <memory>
+struct Time { long long count_ns() const { return 0; } };
+int fixture() {
+  auto owned = std::make_unique<int>(1);
+  Time sleep;
+  std::map<int, int> table;
+  int sum = *owned;
+  for (const auto& kv : table) sum += kv.second;
+  return sum + static_cast<int>(sleep.count_ns());
+}

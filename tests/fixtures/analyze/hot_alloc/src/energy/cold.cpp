@@ -1,0 +1,7 @@
+// Same constructs outside the closure: not included by sim/net, no finding.
+#include <functional>
+#include <string>
+int fixture_cold() {
+  std::function<int()> f = [] { return 2; };
+  return f() + static_cast<int>(std::to_string(42).size());
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Not a hot root, but included from src/net — the closure makes it hot.
+#include <functional>
+inline int pulled_in() {
+  std::function<int()> f = [] { return 1; };
+  return f();
+}

@@ -1,0 +1,17 @@
+// Positive fixture: allocating constructs inside the hot root module.
+#include <functional>
+#include <string>
+#include <vector>
+#include "energy/pulled_in.hpp"
+std::function<void()> g_cb;
+int fixture(const std::vector<int>& in) {
+  std::vector<int> grows;
+  for (int v : in) grows.push_back(v);
+  std::vector<int> reserved;
+  reserved.reserve(in.size());
+  for (int v : in) reserved.push_back(v);
+  std::string label = std::to_string(in.size());
+  std::string tagged = "n=" + label;
+  return static_cast<int>(grows.size() + reserved.size() + tagged.size()) +
+         pulled_in();
+}

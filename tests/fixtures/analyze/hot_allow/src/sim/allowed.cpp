@@ -1,0 +1,6 @@
+// Allow-comment fixture: the same violation, suppressed with justification.
+#include <functional>
+// pp-lint: allow(hot-path-alloc): wired once at setup, never per event
+std::function<void()> g_cb;
+// pp-lint: allow(hot-path-alloc)
+std::function<void()> g_unjustified;

@@ -1,0 +1,2 @@
+#pragma once
+inline int proxy_api() { return 1; }

@@ -1,0 +1,3 @@
+// Positive fixture: the bottom layer reaching up into the proxy.
+#include "proxy/api.hpp"
+int fixture() { return proxy_api(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int check_api() { return 2; }

@@ -1,0 +1,2 @@
+#pragma once
+inline int net_api() { return 1; }

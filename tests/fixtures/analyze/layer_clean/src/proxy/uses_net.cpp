@@ -1,0 +1,4 @@
+// Negative fixture: proxy -> net and proxy -> check are both allowed.
+#include "check/api.hpp"
+#include "net/api.hpp"
+int fixture() { return net_api() + check_api(); }

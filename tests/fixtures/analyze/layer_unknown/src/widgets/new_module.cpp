@@ -1,0 +1,2 @@
+// A module missing from the layer table must be declared, not guessed.
+int fixture() { return 0; }

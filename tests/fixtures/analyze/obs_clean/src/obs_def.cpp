@@ -1,0 +1,5 @@
+// Registration half lives in a different file than the read half.
+struct Reg {
+  int* counter(const char*) { return nullptr; }
+};
+void fixture_def(Reg& r) { r.counter("proxy.bursts"); }

@@ -1,0 +1,10 @@
+// Negative fixture: cross-file read resolves; dynamic names are skipped.
+struct Reg {
+  const int* find_counter(const char*) const { return nullptr; }
+};
+struct S { const char* c_str() const { return ""; } };
+int fixture(const Reg& r, const S& name) {
+  const int* ok = r.find_counter("proxy.bursts");
+  const int* dynamic = r.find_counter(name.c_str());
+  return (ok ? 1 : 0) + (dynamic ? 1 : 0);
+}

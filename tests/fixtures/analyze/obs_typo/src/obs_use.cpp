@@ -1,0 +1,16 @@
+// Positive fixture: one read site names a metric nobody registers, and
+// one reads a histogram name through find_counter (type mismatch).
+struct Reg {
+  int* counter(const char*) { return nullptr; }
+  int* histogram(const char*) { return nullptr; }
+  const int* find_counter(const char*) const { return nullptr; }
+  const int* find_histogram(const char*) const { return nullptr; }
+};
+int fixture(Reg& r) {
+  r.counter("proxy.bursts");
+  r.histogram("proxy.burst_bytes");
+  const int* ok = r.find_counter("proxy.bursts");
+  const int* typo = r.find_counter("proxy.burts");
+  const int* mismatch = r.find_counter("proxy.burst_bytes");
+  return (ok ? 1 : 0) + (typo ? 1 : 0) + (mismatch ? 1 : 0);
+}

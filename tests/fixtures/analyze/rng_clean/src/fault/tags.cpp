@@ -1,0 +1,11 @@
+// Negative fixture: distinct tags, and an inline xor literal distinct too.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kFaultStreamTag = 0xDEAD'BEEFULL;
+constexpr std::uint64_t kPolicyStreamTag = 0xFEED'FACEULL;
+}  // namespace
+struct Rng { explicit Rng(std::uint64_t) {} };
+Rng fixture_stream(std::uint64_t run_seed) {
+  return Rng{run_seed ^ 0x1234ULL};
+}
+std::uint64_t fixture_tags() { return kFaultStreamTag + kPolicyStreamTag; }

@@ -1,0 +1,7 @@
+// Positive fixture: two stream tags share a value, plus a zero tag.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kFaultStreamTag = 0xDEAD'BEEFULL;
+constexpr std::uint64_t kZeroStreamTag = 0x0;
+}  // namespace
+std::uint64_t fixture_tags() { return kFaultStreamTag + kZeroStreamTag; }

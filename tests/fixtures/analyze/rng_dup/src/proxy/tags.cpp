@@ -1,0 +1,10 @@
+// Same literal value as src/fault/tags.cpp — streams would correlate.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kPolicyStreamTag = 0xDEADBEEFull;
+}  // namespace
+std::uint64_t fixture_tags2(std::uint64_t run_seed) {
+  struct Rng { explicit Rng(std::uint64_t) {} };
+  Rng r{run_seed ^ kPolicyStreamTag};
+  return kPolicyStreamTag;
+}

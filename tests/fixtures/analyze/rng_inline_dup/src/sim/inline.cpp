@@ -1,0 +1,10 @@
+// Inline xor literal colliding with a named tag elsewhere in the file.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kChainStreamTag = 0x42ULL;
+}  // namespace
+struct Rng { explicit Rng(std::uint64_t) {} };
+Rng fixture_stream(std::uint64_t run_seed) {
+  (void)kChainStreamTag;
+  return Rng{run_seed ^ 0x42};
+}

@@ -118,9 +118,9 @@ TEST(Registry, HandlesAreStableAndShared) {
 
 TEST(Registry, FindDoesNotCreate) {
   MetricsRegistry reg;
-  EXPECT_EQ(reg.find_counter("nope"), nullptr);
-  EXPECT_EQ(reg.find_time_gauge("nope"), nullptr);
-  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);  // pp-lint: allow(obs-name-consistency): deliberately unregistered name
+  EXPECT_EQ(reg.find_time_gauge("nope"), nullptr);  // pp-lint: allow(obs-name-consistency): deliberately unregistered name
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);  // pp-lint: allow(obs-name-consistency): deliberately unregistered name
   reg.counter("yes");
   EXPECT_NE(reg.find_counter("yes"), nullptr);
   EXPECT_TRUE(reg.counters().size() == 1);

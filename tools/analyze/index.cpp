@@ -1,0 +1,133 @@
+#include "analyze/index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace pp::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_fixture_component(const fs::path& p) {
+  for (const auto& part : p) {
+    if (part == "fixtures") return true;
+  }
+  return false;
+}
+
+std::string dirname_of(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string{} : rel.substr(0, slash + 1);
+}
+
+}  // namespace
+
+ProjectIndex ProjectIndex::load(const std::string& root_dir,
+                                const std::vector<std::string>& subdirs) {
+  ProjectIndex idx;
+  std::vector<fs::path> paths;
+  const fs::path root{root_dir};
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      // Judge only the root-relative path: a fixture tree may itself be
+      // the scan root (the analyzer's own tests), but fixture trees
+      // *inside* a project must not pollute the project index.
+      if (has_fixture_component(fs::relative(e.path(), root))) continue;
+      const auto ext = e.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") paths.push_back(e.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const fs::path& p : paths) {
+    const std::string rel =
+        fs::relative(p, root).generic_string();
+    idx.by_rel_.emplace(rel, static_cast<int>(idx.files_.size()));
+    idx.files_.push_back(load_file(p.string(), rel));
+    std::string module;
+    if (rel.rfind("src/", 0) == 0) {
+      const std::size_t slash = rel.find('/', 4);
+      if (slash != std::string::npos) {
+        module = rel.substr(4, slash - 4);
+        idx.src_modules_.insert(module);
+      }
+    }
+    idx.modules_.push_back(module);
+  }
+
+  // Resolve quoted includes: the build adds src/ to the include path, and
+  // tests include siblings relative to their own directory.
+  idx.includes_.resize(idx.files_.size());
+  for (std::size_t i = 0; i < idx.files_.size(); ++i) {
+    const FileScan& f = idx.files_[i];
+    std::size_t pos = 0;
+    while ((pos = f.code.find("#include", pos)) != std::string::npos) {
+      const std::size_t here = pos;
+      pos += 8;
+      const std::size_t q = skip_ws(f.code, here + 8);
+      if (q >= f.code.size() || f.code[q] != '"') continue;  // <system>
+      // The stripped view blanks literal contents; read the path from the
+      // recorded string literals.
+      for (const StringLit& s : f.strings) {
+        if (s.pos != q) continue;
+        Include inc;
+        inc.pos = here;
+        inc.target = s.text;
+        int r = idx.find("src/" + s.text);
+        if (r < 0) r = idx.find(dirname_of(f.rel) + s.text);
+        if (r < 0) r = idx.find(s.text);
+        inc.resolved = r;
+        idx.includes_[i].push_back(inc);
+        break;
+      }
+    }
+  }
+  return idx;
+}
+
+std::string ProjectIndex::module_of_include(const std::string& target) const {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return {};
+  const std::string head = target.substr(0, slash);
+  return src_modules_.count(head) ? head : std::string{};
+}
+
+int ProjectIndex::find(const std::string& rel) const {
+  const auto it = by_rel_.find(rel);
+  return it == by_rel_.end() ? -1 : it->second;
+}
+
+std::vector<std::size_t> ProjectIndex::hot_closure(
+    const std::set<std::string>& root_modules) const {
+  std::vector<char> hot(files_.size(), 0);
+  std::vector<std::size_t> work;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (root_modules.count(modules_[i])) {
+      hot[i] = 1;
+      work.push_back(i);
+    }
+  }
+  while (!work.empty()) {
+    const std::size_t i = work.back();
+    work.pop_back();
+    for (const Include& inc : includes_[i]) {
+      if (inc.resolved < 0) continue;
+      const auto r = static_cast<std::size_t>(inc.resolved);
+      if (!hot[r]) {
+        hot[r] = 1;
+        work.push_back(r);
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    if (hot[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace pp::analyze

@@ -1,0 +1,77 @@
+// ProjectIndex: the whole-project view the cross-file rules run against.
+//
+// Loads every .cpp/.hpp under the scan roots, lexes each once (see
+// lexer.hpp), and derives the two structures single-file scanning cannot
+// see:
+//
+//   * include edges — every `#include "..."` resolved against the indexed
+//     files (quoted project includes are rooted at src/ or at the
+//     including file's directory), giving a file-level dependency graph;
+//   * module ids — the first path component under src/ ("sim", "net",
+//     "proxy", ...), the unit the layer DAG is expressed in.
+//
+// From those it computes the hot-path closure: every file in a hot root
+// module plus everything those files transitively include.  Code in the
+// closure executes on the event/packet hot path even though it lives
+// elsewhere (an inline header pulled into the event loop is as hot as the
+// loop itself).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace pp::analyze {
+
+struct Include {
+  std::size_t pos = 0;       // offset of the '#' in raw/code
+  std::string target;        // the quoted path as written
+  int resolved = -1;         // index into files(), -1 when external
+};
+
+class ProjectIndex {
+ public:
+  // Scan `root_dir/<sub>` for each subdir that exists, indexing every
+  // .cpp/.hpp in deterministic (sorted) path order.  Any path containing a
+  // "fixtures" component is skipped: fixture trees are deliberately
+  // violating analyzer inputs, not project code.
+  static ProjectIndex load(const std::string& root_dir,
+                           const std::vector<std::string>& subdirs);
+
+  const std::vector<FileScan>& files() const { return files_; }
+  const std::vector<std::vector<Include>>& includes() const {
+    return includes_;
+  }
+
+  // Module of a file: "sim" for src/sim/..., "" for files outside src/.
+  const std::string& module_of(std::size_t file) const {
+    return modules_[file];
+  }
+  // Module named by a quoted include path ("sim/time.hpp" -> "sim"), or ""
+  // when the include does not name a src/ module.
+  std::string module_of_include(const std::string& target) const;
+
+  // Index of the file with this root-relative path, or -1.
+  int find(const std::string& rel) const;
+
+  // Every file whose module is in `root_modules`, plus all files those
+  // transitively include.  Returned as file indices, sorted.
+  std::vector<std::size_t> hot_closure(
+      const std::set<std::string>& root_modules) const;
+
+  // All src/ module names seen in this index.
+  const std::set<std::string>& src_modules() const { return src_modules_; }
+
+ private:
+  std::vector<FileScan> files_;
+  std::vector<std::vector<Include>> includes_;
+  std::vector<std::string> modules_;
+  std::map<std::string, int> by_rel_;
+  std::set<std::string> src_modules_;
+};
+
+}  // namespace pp::analyze

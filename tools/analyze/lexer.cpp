@@ -1,0 +1,180 @@
+#include "analyze/lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace pp::analyze {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string strip_comments_and_strings(const std::string& in,
+                                       std::vector<StringLit>* strings) {
+  std::string out = in;
+  enum class St { Code, Line, Block, Str, Chr } st = St::Code;
+  StringLit cur;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::Code:
+        if (c == '/' && n == '/') {
+          st = St::Line;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && n == '*') {
+          st = St::Block;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::Str;
+          cur.pos = i;
+          cur.text.clear();
+        } else if (c == '\'' && i > 0 && !ident_char(in[i - 1])) {
+          st = St::Chr;  // skip digit separators like 1'000'000
+        }
+        break;
+      case St::Line:
+        if (c == '\n') st = St::Code;
+        else out[i] = ' ';
+        break;
+      case St::Block:
+        if (c == '*' && n == '/') {
+          st = St::Code;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::Str:
+        if (c == '\\') {
+          out[i] = ' ';
+          cur.text += c;
+          if (n != '\n') {
+            if (i + 1 < in.size()) {
+              out[i + 1] = ' ';
+              cur.text += n;
+            }
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::Code;
+          if (strings) strings->push_back(cur);
+        } else {
+          if (c != '\n') out[i] = ' ';
+          cur.text += c;
+        }
+        break;
+      case St::Chr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < in.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::Code;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool token_at(const std::string& text, std::size_t pos,
+              const std::string& word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= text.size() || !ident_char(text[end]);
+}
+
+std::size_t skip_ws(const std::string& t, std::size_t i) {
+  while (i < t.size() && std::isspace(static_cast<unsigned char>(t[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t match_group(const std::string& t, std::size_t open) {
+  if (open >= t.size()) return std::string::npos;
+  const char o = t[open];
+  char close = '\0';
+  switch (o) {
+    case '(': close = ')'; break;
+    case '{': close = '}'; break;
+    case '[': close = ']'; break;
+    case '<': close = '>'; break;
+    default: return std::string::npos;
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i] == o) ++depth;
+    else if (t[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  int lo = 0, hi = static_cast<int>(line_starts.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (line_starts[static_cast<std::size_t>(mid)] <= pos) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo + 1;  // 1-indexed
+}
+
+bool allowlisted(const std::vector<std::string>& raw_lines, int line,
+                 const std::string& rule) {
+  const std::string needle = "pp-lint: allow(" + rule + ")";
+  for (int l = line; l >= line - 1 && l >= 1; --l) {
+    if (l > static_cast<int>(raw_lines.size())) continue;
+    const std::string& s = raw_lines[static_cast<std::size_t>(l - 1)];
+    const std::size_t p = s.find(needle);
+    if (p == std::string::npos) continue;
+    std::size_t j = p + needle.size();
+    if (j < s.size() && s[j] == ':') {
+      ++j;
+      while (j < s.size() &&
+             std::isspace(static_cast<unsigned char>(s[j]))) {
+        ++j;
+      }
+      if (j < s.size()) return true;  // non-empty justification
+    }
+    // allow() without a justification does not suppress anything.
+  }
+  return false;
+}
+
+FileScan load_file(const std::string& path, const std::string& rel) {
+  FileScan f;
+  f.path = path;
+  f.rel = rel;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  f.raw = ss.str();
+  f.code = strip_comments_and_strings(f.raw, &f.strings);
+  f.line_starts.push_back(0);
+  std::string cur;
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    if (f.raw[i] == '\n') {
+      f.raw_lines.push_back(cur);
+      cur.clear();
+      f.line_starts.push_back(i + 1);
+    } else {
+      cur += f.raw[i];
+    }
+  }
+  f.raw_lines.push_back(cur);
+  return f;
+}
+
+}  // namespace pp::analyze

@@ -1,485 +1,61 @@
-// pp_lint: repo-specific determinism lint for the simulation sources.
+// pp_lint: single-file determinism lint for the simulation sources.
 //
-// Scans every .cpp/.hpp under the directories given on the command line and
-// rejects constructs that break bit-deterministic replay or the project's
-// resource rules:
+// Thin driver over the shared analyzer library (tools/analyze/): scans
+// every .cpp/.hpp under the directories given on the command line and runs
+// the per-file rule families —
 //
-//   wall-clock      real-time clocks (system_clock, time(), gettimeofday,
-//                   ...) — sim::Time is the only clock
-//   randomness      std random facilities (rand, mt19937, random_device,
-//                   ...) — sim::Rng is the only entropy source
-//   unordered-iter  range-for directly over a variable declared as an
-//                   unordered_map/unordered_set — bucket order is not
-//                   deterministic; iterate via check::sorted_items/
-//                   sorted_keys instead
+//   wall-clock      real-time clocks — sim::Time is the only clock
+//   randomness      std random facilities — sim::Rng is the only entropy
+//                   source
+//   unordered-iter  range-for directly over an unordered_map/unordered_set
+//                   variable; iterate check::sorted_items/sorted_keys
 //   raw-new         naked `new` — ownership must go through make_unique/
 //                   make_shared/containers
 //   raw-delete      naked `delete` (deleted special members are exempt)
 //   naked-duration  arithmetic variables suffixed _ns/_us/_ms — durations
-//                   must be sim::Time/sim::Duration (accessor *functions*
-//                   like count_ns() are exempt)
-//   std-function    std::function inside src/sim or src/net — the event
-//                   and packet hot paths; type-erased std::function calls
-//                   there cost a heap allocation per capture.  Use
-//                   sim::EventCallback, a template parameter, or a
-//                   concrete functor (cold-path uses take an allow)
+//                   must be sim::Time/sim::Duration
+//   check-side-effect  ++/--/assignment inside a PP_CHECK argument —
+//                   checks must be removable without changing behaviour
 //
-// A finding is suppressed by an allowlist comment on the same or the
-// preceding line, with a mandatory justification:
+// The cross-file families (rng-stream-unique, obs-name-consistency,
+// layer-dag, hot-path-alloc) need the whole-project index and live in
+// pp_analyze; run that for the full pass.  A finding is suppressed by an
+// allowlist comment on the same or the preceding line, with a mandatory
+// justification:
 //
 //   // pp-lint: allow(unordered-iter): order-insensitive sum
 //
-// Exit status is the number of unsuppressed findings (0 = clean).  The
-// scanner is a hand-rolled tokenizer over comment- and string-stripped
-// text; it favours simple rules with an escape hatch over full parsing.
+// Exit status is the number of unsuppressed findings (0 = clean).
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Finding {
-  std::string file;
-  int line;
-  std::string rule;
-  std::string message;
-};
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// Replace comments and string/char literal contents with spaces, keeping
-// line structure intact.  Raw strings are handled well enough for this
-// codebase (no raw strings containing quotes).
-std::string strip_comments_and_strings(const std::string& in) {
-  std::string out = in;
-  enum class St { Code, Line, Block, Str, Chr } st = St::Code;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char n = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (st) {
-      case St::Code:
-        if (c == '/' && n == '/') {
-          st = St::Line;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && n == '*') {
-          st = St::Block;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::Str;
-        } else if (c == '\'' && i > 0 && !ident_char(in[i - 1])) {
-          st = St::Chr;  // skip digit separators like 1'000'000
-        }
-        break;
-      case St::Line:
-        if (c == '\n') st = St::Code;
-        else out[i] = ' ';
-        break;
-      case St::Block:
-        if (c == '*' && n == '/') {
-          st = St::Code;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::Str:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (n != '\n') {
-            if (i + 1 < in.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          st = St::Code;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::Chr:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < in.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::Code;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// True when text[pos..] starts the exact identifier `word` on a token
-// boundary.
-bool token_at(const std::string& text, std::size_t pos,
-              const std::string& word) {
-  if (text.compare(pos, word.size(), word) != 0) return false;
-  if (pos > 0 && ident_char(text[pos - 1])) return false;
-  const std::size_t end = pos + word.size();
-  return end >= text.size() || !ident_char(text[end]);
-}
-
-std::size_t skip_ws(const std::string& t, std::size_t i) {
-  while (i < t.size() &&
-         std::isspace(static_cast<unsigned char>(t[i]))) {
-    ++i;
-  }
-  return i;
-}
-
-int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
-  int lo = 0, hi = static_cast<int>(line_starts.size()) - 1;
-  while (lo < hi) {
-    const int mid = (lo + hi + 1) / 2;
-    if (line_starts[static_cast<std::size_t>(mid)] <= pos) lo = mid;
-    else hi = mid - 1;
-  }
-  return lo + 1;  // 1-indexed
-}
-
-// `// pp-lint: allow(<rule>): <justification>` on the given or preceding
-// raw line, with a non-empty justification.
-bool allowlisted(const std::vector<std::string>& raw_lines, int line,
-                 const std::string& rule) {
-  const std::string needle = "pp-lint: allow(" + rule + ")";
-  for (int l = line; l >= line - 1 && l >= 1; --l) {
-    const std::string& s = raw_lines[static_cast<std::size_t>(l - 1)];
-    const std::size_t p = s.find(needle);
-    if (p == std::string::npos) continue;
-    std::size_t j = p + needle.size();
-    if (j < s.size() && s[j] == ':') {
-      ++j;
-      while (j < s.size() &&
-             std::isspace(static_cast<unsigned char>(s[j]))) {
-        ++j;
-      }
-      if (j < s.size()) return true;  // non-empty justification
-    }
-    // allow() without a justification does not suppress anything.
-  }
-  return false;
-}
-
-struct FileScan {
-  std::string path;
-  std::string raw;
-  std::string code;  // comment/string-stripped, same length as raw
-  std::vector<std::string> raw_lines;
-  std::vector<std::size_t> line_starts;
-};
-
-FileScan load(const fs::path& p) {
-  FileScan f;
-  f.path = p.string();
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  f.raw = ss.str();
-  f.code = strip_comments_and_strings(f.raw);
-  f.line_starts.push_back(0);
-  std::string cur;
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    if (f.raw[i] == '\n') {
-      f.raw_lines.push_back(cur);
-      cur.clear();
-      f.line_starts.push_back(i + 1);
-    } else {
-      cur += f.raw[i];
-    }
-  }
-  f.raw_lines.push_back(cur);
-  return f;
-}
-
-// Collect names of variables declared with an unordered container type in
-// this file's stripped text.  Handles multi-line declarations by matching
-// angle brackets from the template argument list.
-void collect_unordered_vars(const std::string& code,
-                            std::set<std::string>& names) {
-  for (const char* kw : {"unordered_map", "unordered_set"}) {
-    std::size_t pos = 0;
-    while ((pos = code.find(kw, pos)) != std::string::npos) {
-      if (!token_at(code, pos, kw)) {
-        ++pos;
-        continue;
-      }
-      std::size_t i = pos + std::string(kw).size();
-      pos = i;
-      i = skip_ws(code, i);
-      if (i >= code.size() || code[i] != '<') continue;  // e.g. using-decl
-      int depth = 0;
-      for (; i < code.size(); ++i) {
-        if (code[i] == '<') ++depth;
-        else if (code[i] == '>') {
-          --depth;
-          if (depth == 0) {
-            ++i;
-            break;
-          }
-        }
-      }
-      i = skip_ws(code, i);
-      if (i < code.size() && code[i] == '&') i = skip_ws(code, i + 1);
-      std::string name;
-      while (i < code.size() && ident_char(code[i])) name += code[i++];
-      if (!name.empty()) names.insert(name);
-    }
-  }
-}
-
-void scan_simple_tokens(const FileScan& f, std::vector<Finding>& out) {
-  struct Ban {
-    const char* rule;
-    const char* word;
-    bool call_only;  // only when followed by '('
-    const char* msg;
-  };
-  static const Ban kBans[] = {
-      {"wall-clock", "system_clock", false,
-       "wall clock; use sim::Time from the simulator"},
-      {"wall-clock", "high_resolution_clock", false,
-       "wall clock; use sim::Time from the simulator"},
-      {"wall-clock", "steady_clock", false,
-       "wall clock; use sim::Time from the simulator"},
-      {"wall-clock", "gettimeofday", false,
-       "wall clock; use sim::Time from the simulator"},
-      {"wall-clock", "clock_gettime", false,
-       "wall clock; use sim::Time from the simulator"},
-      {"wall-clock", "time", true,
-       "wall clock; use sim::Time from the simulator"},
-      {"randomness", "rand", true,
-       "unseeded randomness; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "srand", false,
-       "unseeded randomness; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "random_device", false,
-       "nondeterministic entropy; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "mt19937", false,
-       "std random engine; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "mt19937_64", false,
-       "std random engine; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "minstd_rand", false,
-       "std random engine; use sim::Rng (simulator-owned, seeded)"},
-      {"randomness", "default_random_engine", false,
-       "std random engine; use sim::Rng (simulator-owned, seeded)"},
-  };
-  for (const Ban& b : kBans) {
-    std::size_t pos = 0;
-    const std::string word = b.word;
-    while ((pos = f.code.find(word, pos)) != std::string::npos) {
-      const std::size_t here = pos;
-      pos += word.size();
-      if (!token_at(f.code, here, word)) continue;
-      if (b.call_only) {
-        const std::size_t after = skip_ws(f.code, here + word.size());
-        if (after >= f.code.size() || f.code[after] != '(') continue;
-        // A *declaration* of a function with this name (preceded by a type
-        // identifier) is not a call of the banned libc function.
-        std::size_t before = here;
-        while (before > 0 && std::isspace(static_cast<unsigned char>(
-                                 f.code[before - 1]))) {
-          --before;
-        }
-        const bool std_qualified =
-            before >= 5 && f.code.compare(before - 5, 5, "std::") == 0;
-        if (!std_qualified && before > 0 &&
-            (ident_char(f.code[before - 1]) || f.code[before - 1] == ':' ||
-             f.code[before - 1] == '.' || f.code[before - 1] == '>' ||
-             f.code[before - 1] == '&' || f.code[before - 1] == '*')) {
-          // Member access (x.time()), a different namespace, or a
-          // declaration preceded by a return type — not the libc call.
-          continue;
-        }
-      }
-      out.push_back({f.path, line_of(f.line_starts, here), b.rule, b.msg});
-    }
-  }
-}
-
-// std::function is banned on the hot paths only: src/sim (the event
-// engine) and src/net (per-packet code).  Elsewhere (transport callbacks,
-// sweep plumbing, bench harness) it is fine.
-void scan_std_function(const FileScan& f, std::vector<Finding>& out) {
-  const bool hot = f.path.find("src/sim") != std::string::npos ||
-                   f.path.find("src/net") != std::string::npos;
-  if (!hot) return;
-  static const std::string word = "std::function";
-  std::size_t pos = 0;
-  while ((pos = f.code.find(word, pos)) != std::string::npos) {
-    const std::size_t here = pos;
-    pos += word.size();
-    const std::size_t end = here + word.size();
-    if (end < f.code.size() && ident_char(f.code[end])) continue;
-    if (here > 0 &&
-        (ident_char(f.code[here - 1]) || f.code[here - 1] == ':')) {
-      continue;
-    }
-    out.push_back({f.path, line_of(f.line_starts, here), "std-function",
-                   "std::function on a sim/net hot path allocates per "
-                   "capture; use sim::EventCallback, a template parameter, "
-                   "or a concrete functor"});
-  }
-}
-
-void scan_new_delete(const FileScan& f, std::vector<Finding>& out) {
-  std::size_t pos = 0;
-  while ((pos = f.code.find("new", pos)) != std::string::npos) {
-    const std::size_t here = pos;
-    pos += 3;
-    if (!token_at(f.code, here, "new")) continue;
-    out.push_back({f.path, line_of(f.line_starts, here), "raw-new",
-                   "naked new; use make_unique/make_shared or a container"});
-  }
-  pos = 0;
-  while ((pos = f.code.find("delete", pos)) != std::string::npos) {
-    const std::size_t here = pos;
-    pos += 6;
-    if (!token_at(f.code, here, "delete")) continue;
-    // `= delete` (deleted special member) is idiomatic and allowed.
-    std::size_t before = here;
-    while (before > 0 &&
-           std::isspace(static_cast<unsigned char>(f.code[before - 1]))) {
-      --before;
-    }
-    if (before > 0 && f.code[before - 1] == '=') continue;
-    out.push_back({f.path, line_of(f.line_starts, here), "raw-delete",
-                   "naked delete; use RAII ownership"});
-  }
-}
-
-void scan_unordered_iter(const FileScan& f,
-                         const std::set<std::string>& unordered_vars,
-                         std::vector<Finding>& out) {
-  if (unordered_vars.empty()) return;
-  std::size_t pos = 0;
-  while ((pos = f.code.find("for", pos)) != std::string::npos) {
-    const std::size_t here = pos;
-    pos += 3;
-    if (!token_at(f.code, here, "for")) continue;
-    std::size_t i = skip_ws(f.code, here + 3);
-    if (i >= f.code.size() || f.code[i] != '(') continue;
-    // Find the ':' at parenthesis depth 1 (range-for); a ';' first means a
-    // classic for loop.
-    int depth = 0;
-    std::size_t colon = std::string::npos, close = std::string::npos;
-    for (std::size_t j = i; j < f.code.size(); ++j) {
-      const char c = f.code[j];
-      if (c == '(') ++depth;
-      else if (c == ')') {
-        --depth;
-        if (depth == 0) {
-          close = j;
-          break;
-        }
-      } else if (c == ';' && depth == 1) {
-        break;  // classic for
-      } else if (c == ':' && depth == 1 && colon == std::string::npos) {
-        // ignore :: qualifiers
-        const bool dbl = (j + 1 < f.code.size() && f.code[j + 1] == ':') ||
-                         (j > 0 && f.code[j - 1] == ':');
-        if (!dbl) colon = j;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    const std::string range = f.code.substr(colon + 1, close - colon - 1);
-    // A call in the range expression (sorted_items(...), span(), ...)
-    // means the container is already being adapted.
-    if (range.find('(') != std::string::npos) continue;
-    // Last identifier of the range expression is the container name.
-    std::size_t e = range.size();
-    while (e > 0 &&
-           std::isspace(static_cast<unsigned char>(range[e - 1]))) {
-      --e;
-    }
-    std::size_t s = e;
-    while (s > 0 && ident_char(range[s - 1])) --s;
-    const std::string name = range.substr(s, e - s);
-    if (unordered_vars.count(name) == 0) continue;
-    out.push_back(
-        {f.path, line_of(f.line_starts, here), "unordered-iter",
-         "range-for over unordered container '" + name +
-             "'; iterate check::sorted_items/sorted_keys instead"});
-  }
-}
-
-void scan_naked_duration(const FileScan& f, std::vector<Finding>& out) {
-  static const char* kTypes[] = {"int",      "long",     "short",
-                                 "unsigned", "double",   "float",
-                                 "int32_t",  "uint32_t", "int64_t",
-                                 "uint64_t", "size_t"};
-  static const char* kSuffixes[] = {"_ns", "_us", "_ms"};
-  std::size_t i = 0;
-  const std::string& t = f.code;
-  while (i < t.size()) {
-    if (!ident_char(t[i])) {
-      ++i;
-      continue;
-    }
-    std::size_t s = i;
-    while (i < t.size() && ident_char(t[i])) ++i;
-    const std::string word = t.substr(s, i - s);
-    bool is_type = false;
-    for (const char* ty : kTypes) {
-      if (word == ty) {
-        is_type = true;
-        break;
-      }
-    }
-    if (!is_type) continue;
-    // Next identifier (skipping cv/ref noise) is the declared name.
-    std::size_t j = skip_ws(t, i);
-    while (j < t.size() && (t[j] == '&' || t[j] == '*')) {
-      j = skip_ws(t, j + 1);
-    }
-    std::size_t ns = j;
-    while (j < t.size() && ident_char(t[j])) ++j;
-    const std::string name = t.substr(ns, j - ns);
-    if (name.empty()) continue;
-    bool suffixed = false;
-    for (const char* suf : kSuffixes) {
-      const std::string sfx = suf;
-      if (name.size() > sfx.size() &&
-          name.compare(name.size() - sfx.size(), sfx.size(), sfx) == 0) {
-        suffixed = true;
-        break;
-      }
-    }
-    if (!suffixed) continue;
-    // A '(' right after the name is a function declaration (count_ns()
-    // style accessors) — durations are only banned as stored variables.
-    const std::size_t after = skip_ws(t, j);
-    if (after < t.size() && t[after] == '(') continue;
-    out.push_back({f.path, line_of(f.line_starts, ns), "naked-duration",
-                   "raw arithmetic duration '" + name +
-                       "'; use sim::Time/sim::Duration"});
-  }
-}
-
-}  // namespace
+#include "analyze/lexer.hpp"
+#include "analyze/rules.hpp"
 
 int main(int argc, char** argv) {
+  using namespace pp::analyze;
+  namespace fs = std::filesystem;
+
   if (argc < 2) {
     std::fprintf(stderr, "usage: pp_lint <src-dir>...\n");
     return 2;
   }
+  const auto in_fixture_tree = [](const fs::path& p) {
+    for (const auto& part : p) {
+      if (part == "fixtures") return true;
+    }
+    return false;
+  };
   std::vector<fs::path> files;
   for (int a = 1; a < argc; ++a) {
     for (const auto& e : fs::recursive_directory_iterator(argv[a])) {
       if (!e.is_regular_file()) continue;
+      // Fixture trees hold deliberate violations for the analyzer's own
+      // tests; linting them would bury real findings.
+      if (in_fixture_tree(e.path())) continue;
       const auto ext = e.path().extension();
       if (ext == ".cpp" || ext == ".hpp") files.push_back(e.path());
     }
@@ -488,24 +64,21 @@ int main(int argc, char** argv) {
 
   int violations = 0;
   for (const fs::path& p : files) {
-    const FileScan f = load(p);
-    std::set<std::string> unordered_vars;
-    collect_unordered_vars(f.code, unordered_vars);
+    const FileScan f = load_file(p.string(), p.string());
     // A .cpp's member loops iterate containers declared in its header.
-    fs::path sibling = p;
+    std::string sibling_code;
+    const std::string* sibling = nullptr;
+    fs::path sib = p;
     if (p.extension() == ".cpp") {
-      sibling.replace_extension(".hpp");
-      if (fs::exists(sibling)) {
-        collect_unordered_vars(load(sibling).code, unordered_vars);
+      sib.replace_extension(".hpp");
+      if (fs::exists(sib)) {
+        sibling_code = load_file(sib.string(), sib.string()).code;
+        sibling = &sibling_code;
       }
     }
 
     std::vector<Finding> found;
-    scan_simple_tokens(f, found);
-    scan_std_function(f, found);
-    scan_new_delete(f, found);
-    scan_unordered_iter(f, unordered_vars, found);
-    scan_naked_duration(f, found);
+    run_file_rules(f, sibling, found);
 
     for (const Finding& v : found) {
       if (allowlisted(f.raw_lines, v.line, v.rule)) continue;
