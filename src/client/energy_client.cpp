@@ -38,10 +38,38 @@ EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
     if (!params_.naive && request_like)
       daemon_.extend_hold(medium.busy_until());
   });
+  if (params_.assoc.enabled) {
+    assoc_ = std::make_unique<AssociationAgent>(
+        sim_, ip, params_.assoc,
+        [this, &medium, station_id](net::Packet pkt) {
+          // Control frames ride the raw medium path: the energy and airtime
+          // accounting comes through on_air like any other uplink frame.
+          medium.transmit(station_id, std::move(pkt));
+        },
+        [this] {
+          // Departed for good: radio off (naive baselines stay listening —
+          // they never sleep by definition).
+          if (!params_.naive) daemon_.stop();
+        });
+  }
 }
 
 void EnergyAwareClient::start() {
+  if (assoc_) assoc_->start_associated();
   if (!params_.naive) daemon_.start();
+}
+
+void EnergyAwareClient::set_away(bool away) {
+  if (!assoc_) return;
+  if (away) {
+    assoc_->leave();
+  } else {
+    // Radio up first: the JoinAck and the renegotiated schedule must be
+    // heard.  The daemon resets to AwaitingSchedule, so it stays awake
+    // until the fresh broadcast anchors it.
+    if (!params_.naive) daemon_.start();
+    assoc_->join();
+  }
 }
 
 void EnergyAwareClient::set_obs(obs::Hook hook) {
@@ -49,7 +77,8 @@ void EnergyAwareClient::set_obs(obs::Hook hook) {
   PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
     twg_awake_ = m->time_gauge("client." + ip().str() + ".awake");
     twg_awake_->set(sim_.now(), listening() ? 1.0 : 0.0);
-  } daemon_.set_obs(hook, ip().raw()));
+  } daemon_.set_obs(hook, ip().raw());
+    if (assoc_) assoc_->set_obs(hook));
 }
 
 void EnergyAwareClient::record_power_state(bool awake) {
@@ -62,12 +91,29 @@ void EnergyAwareClient::record_power_state(bool awake) {
 }
 
 bool EnergyAwareClient::listening() const {
-  return params_.naive || daemon_.awake();
+  // An in-flight association handshake pins the radio up even where the
+  // daemon would sleep: the acks it is waiting for arrive outside any
+  // scheduled slot.
+  return params_.naive || daemon_.awake() || (assoc_ && assoc_->needs_radio());
 }
 
 void EnergyAwareClient::deliver(net::Packet pkt, sim::Duration airtime) {
   acc_.add_transient(energy::WnicMode::Receive, airtime);
   traffic_.receive_airtime += airtime;
+
+  // Association control (unicast, both ports == kAssocPort): control
+  // plane like the schedule broadcast — charged for energy, not counted
+  // as traffic.
+  if (pkt.proto == net::Protocol::Udp && !pkt.is_broadcast() &&
+      pkt.dst_port == proxy::kAssocPort &&
+      pkt.src_port == proxy::kAssocPort) {
+    if (assoc_) {
+      if (auto msg =
+              std::dynamic_pointer_cast<const proxy::AssocMessage>(pkt.data))
+        assoc_->on_packet(*msg);
+    }
+    return;
+  }
 
   const bool is_schedule =
       pkt.proto == net::Protocol::Udp && pkt.is_broadcast() &&
@@ -75,6 +121,7 @@ void EnergyAwareClient::deliver(net::Packet pkt, sim::Duration airtime) {
   if (is_schedule) {
     // Control plane: charged for energy (airtime above) but not counted as
     // received traffic.
+    if (assoc_) assoc_->note_schedule();
     if (params_.naive) return;
     if (auto msg =
             std::dynamic_pointer_cast<const proxy::ScheduleMessage>(pkt.data)) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "client/association.hpp"
 #include "client/power_daemon.hpp"
 #include "energy/wnic.hpp"
 #include "net/node.hpp"
@@ -24,6 +25,10 @@ struct ClientParams {
   DaemonConfig daemon{};
   energy::WnicPowerModel power{};
   bool naive = false;  // never sleep (the comparison baseline)
+  // Dynamic membership (client churn).  When enabled the client carries an
+  // AssociationAgent; set_away() drives leave/rejoin handshakes with the
+  // proxy and powers the daemon down while disassociated.
+  AssocParams assoc{};
 };
 
 struct ClientTraffic {
@@ -49,8 +54,17 @@ class EnergyAwareClient : public net::WirelessStation {
   EnergyAwareClient(const EnergyAwareClient&) = delete;
   EnergyAwareClient& operator=(const EnergyAwareClient&) = delete;
 
-  // Begin the power daemon (no-op for naive clients).
+  // Begin the power daemon (no-op for naive clients).  An assoc-enabled
+  // client starts Associated: the testbed pre-registers the fleet.
   void start();
+
+  // Churn driver (FaultPlan ClientChurn windows).  away=true starts a
+  // graceful leave — the radio stays up until the proxy's LeaveAck (or the
+  // retry budget runs out), then the daemon stops.  away=false restarts
+  // the daemon and re-joins.  No-op unless assoc is enabled.
+  void set_away(bool away);
+  // Present (non-null) only when assoc is enabled.
+  const AssociationAgent* assoc() const { return assoc_.get(); }
 
   // Publish the per-client awake duty-cycle gauge ("client.<ip>.awake")
   // and sleep/wake timeline events; also hooks the daemon's miss counter.
@@ -87,6 +101,7 @@ class EnergyAwareClient : public net::WirelessStation {
   ClientParams params_;
   energy::EnergyAccountant acc_;
   PowerDaemon daemon_;
+  std::unique_ptr<AssociationAgent> assoc_;
   ClientTraffic traffic_;
   sim::Time start_time_;
 

@@ -31,8 +31,37 @@ void PowerDaemon::set_wnic(bool awake) {
 }
 
 void PowerDaemon::start() {
-  state_ = State::AwaitingSchedule;
+  // Restart-safe: a rejoining client's daemon must not carry schedule
+  // state from before its absence (the anchor is stale, the entries are
+  // for an old membership set).
+  reset();
   set_wnic(true);
+}
+
+void PowerDaemon::stop() {
+  reset();
+  set_wnic(false);
+}
+
+void PowerDaemon::reset() {
+  wake_timer_.cancel();
+  grace_timer_.cancel();
+  slot_timer_.cancel();
+  resleep_timer_.cancel();
+  state_ = State::AwaitingSchedule;
+  cur_.reset();
+  pending_.reset();
+  my_entries_.clear();
+  entry_idx_ = 0;
+  planned_wake_ = sim::Time{};
+  planned_next_ = State::AwaitingSchedule;
+  planned_entry_ = 0;
+  waiting_first_ = false;
+  hold_until_ = sim::Time{};
+  miss_active_ = false;
+  consecutive_misses_ = 0;
+  cur_grace_ = cfg_.schedule_grace;
+  blind_coasts_ = 0;
 }
 
 void PowerDaemon::set_obs(obs::Hook hook, std::uint32_t subject) {

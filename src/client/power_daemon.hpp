@@ -111,8 +111,13 @@ class PowerDaemon {
   PowerDaemon(const PowerDaemon&) = delete;
   PowerDaemon& operator=(const PowerDaemon&) = delete;
 
-  // Begin awake, waiting for the first schedule.
+  // Begin awake, waiting for the first schedule.  Safe to call again after
+  // stop(): all schedule/miss state is reset first (a rejoining client
+  // must not trust an anchor from before its absence).
   void start();
+  // Power the radio down and drop all schedule state (client left the
+  // cell).  Idempotent; start() brings the daemon back.
+  void stop();
 
   // A schedule broadcast was received (WNIC necessarily awake).
   void on_schedule(std::shared_ptr<const proxy::ScheduleMessage> msg);
@@ -155,6 +160,7 @@ class PowerDaemon {
   void settle_first_wait();
   void note_resync();
   void set_wnic(bool awake);
+  void reset();
 
   sim::Simulator& sim_;
   net::Ipv4Addr self_;

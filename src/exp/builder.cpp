@@ -77,6 +77,11 @@ ScenarioBuilder& ScenarioBuilder::miss_escalation(bool on) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::measured_goodput(bool on) {
+  cfg_.measured_goodput = on;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t s) {
   cfg_.seed = s;
   return *this;
@@ -263,13 +268,38 @@ ScenarioConfig ScenarioBuilder::build() const {
       fail("fault window outlives the horizon (the auditor requires every "
            "window to recover before end of run)");
     }
+    const bool per_client = w.kind == fault::FaultKind::DeepFade ||
+                            w.kind == fault::FaultKind::ClientChurn;
     const bool has_client = w.client != net::Ipv4Addr{};
-    if (w.kind == fault::FaultKind::DeepFade && !has_client) {
-      fail("DeepFade window needs a client address");
+    if (per_client && !has_client) {
+      fail(std::string(fault::to_string(w.kind)) +
+           " window needs a client address");
     }
-    if (w.kind != fault::FaultKind::DeepFade && has_client) {
-      fail("only DeepFade windows take a client address");
+    if (!per_client && has_client) {
+      fail("only DeepFade and ClientChurn windows take a client address");
     }
+  }
+  const auto& storm = c.fault.storm;
+  if (storm.enabled) {
+    if (!(storm.flap_fraction > 0.0 && storm.flap_fraction <= 1.0)) {
+      fail("churn storm flap_fraction must be in (0, 1]");
+    }
+    if (storm.duration <= sim::Duration{}) {
+      fail("churn storm duration must be positive");
+    }
+    if (storm.start < sim::Time{}) fail("churn storm starts before t=0");
+    if (storm.start + storm.duration > horizon) {
+      fail("churn storm outlives the horizon");
+    }
+    if (storm.min_away <= sim::Duration{} || storm.min_home <= sim::Duration{}) {
+      fail("churn storm min periods must be positive");
+    }
+    if (storm.max_away < storm.min_away || storm.max_home < storm.min_home) {
+      fail("churn storm max periods must be >= their minimums");
+    }
+  }
+  if (c.measured_goodput && c.policy != IntervalPolicy::Opportunistic500) {
+    fail("measured_goodput is only meaningful under Opportunistic500");
   }
   return cfg_;
 }

@@ -47,6 +47,8 @@ class ScenarioBuilder {
   ScenarioBuilder& schedule_repeats(int k);
   ScenarioBuilder& schedule_repeat_spacing(sim::Duration d);
   ScenarioBuilder& miss_escalation(bool on = true);
+  // Opportunistic500 only: widen slot costs with measured EWMA goodput.
+  ScenarioBuilder& measured_goodput(bool on = true);
 
   // -- Run shape -------------------------------------------------------------------
   ScenarioBuilder& seed(std::uint64_t s);

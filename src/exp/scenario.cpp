@@ -64,7 +64,7 @@ std::unique_ptr<proxy::Scheduler> make_scheduler(const ScenarioConfig& cfg) {
           sim::Time::ms(500));
     case IntervalPolicy::Opportunistic500:
       return std::make_unique<proxy::ChannelAwareOpportunisticScheduler>(
-          sim::Time::ms(500));
+          sim::Time::ms(500), 3, proxy::SlotParams{}, cfg.measured_goodput);
     case IntervalPolicy::Probabilistic500:
       return std::make_unique<proxy::BufferAwareProbabilisticScheduler>(
           sim::Time::ms(500), cfg.seed);
@@ -196,6 +196,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     r.resyncs = cl.daemon_stats().resyncs;
     r.repeats_deduped = cl.daemon_stats().repeats_deduped;
     r.coast_breaks = cl.daemon_stats().coast_breaks;
+    if (const auto* a = cl.assoc()) {
+      r.assoc_joins = a->stats().joins_sent;
+      r.assoc_leaves = a->stats().leaves_sent;
+      r.assoc_retries = a->stats().join_retries + a->stats().leave_retries;
+    }
     if (auto* v = video_by_client[i]) {
       r.app_loss_pct = 100.0 * v->loss_fraction();
       r.video_fidelity_final = v->stats().fidelity_seen;

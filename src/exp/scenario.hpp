@@ -84,6 +84,9 @@ struct ScenarioConfig {
   sim::Duration schedule_repeat_spacing = sim::Time::ms(3);
   // Client-side missed-schedule escalation (bounded grace backoff).
   bool miss_escalation = false;
+  // Opportunistic500 only: widen slot cost estimates with the measured
+  // EWMA goodput from the channel observer (never narrows them).
+  bool measured_goodput = false;
 };
 
 struct ClientResult {
@@ -117,6 +120,10 @@ struct ClientResult {
   int pages_completed = 0;       // web
   double ftp_seconds = 0;        // ftp: transfer duration
   std::uint64_t app_bytes = 0;
+  // Association lifecycle (zero unless churn windows enabled the agent).
+  std::uint64_t assoc_joins = 0;
+  std::uint64_t assoc_leaves = 0;
+  std::uint64_t assoc_retries = 0;  // join + leave retransmissions
 };
 
 struct ScenarioResult {

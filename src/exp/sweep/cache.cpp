@@ -96,7 +96,10 @@ void write_record(std::ostream& os, const RunRecord& r) {
      << ' ' << p.udp_bytes_burst << ' ' << p.tcp_bytes_burst << ' '
      << p.splices_created << ' ' << p.splices_closed << ' '
      << p.empty_burst_markers << ' ' << p.unmatched_packets << ' '
-     << p.schedule_repeats_sent << ' ' << p.pauses << '\n';
+     << p.schedule_repeats_sent << ' ' << p.pauses << ' ' << p.joins << ' '
+     << p.leaves << ' ' << p.renegotiations << ' ' << p.bursts_skipped << ' '
+     << p.churn_drained_bytes << ' ' << p.churn_dropped_packets << ' '
+     << p.churn_dropped_bytes << '\n';
   const fault::FaultStats& f = r.fault_stats;
   os << "fault " << f.windows_activated << ' ' << f.windows_recovered << ' '
      << f.ge_losses << ' ' << f.fade_losses << ' ' << f.base_losses << ' '
@@ -114,7 +117,8 @@ void write_record(std::ostream& os, const RunRecord& r) {
        << c.video_fidelity_final << ' ' << fmt_f(c.page_time_ms) << ' '
        << c.pages_completed << ' ' << fmt_f(c.ftp_seconds) << ' '
        << c.app_bytes << ' ' << fmt_f(c.mean_delay_ms) << ' '
-       << c.delay_samples << '\n';
+       << c.delay_samples << ' ' << c.assoc_joins << ' ' << c.assoc_leaves
+       << ' ' << c.assoc_retries << '\n';
   }
   os << "end\n";
 }
@@ -141,7 +145,12 @@ bool read_record(std::istream& is, RunRecord& out) {
       !read_u64(is, p.splices_created) || !read_u64(is, p.splices_closed) ||
       !read_u64(is, p.empty_burst_markers) ||
       !read_u64(is, p.unmatched_packets) ||
-      !read_u64(is, p.schedule_repeats_sent) || !read_u64(is, p.pauses)) {
+      !read_u64(is, p.schedule_repeats_sent) || !read_u64(is, p.pauses) ||
+      !read_u64(is, p.joins) || !read_u64(is, p.leaves) ||
+      !read_u64(is, p.renegotiations) || !read_u64(is, p.bursts_skipped) ||
+      !read_u64(is, p.churn_drained_bytes) ||
+      !read_u64(is, p.churn_dropped_packets) ||
+      !read_u64(is, p.churn_dropped_bytes)) {
     return false;
   }
   fault::FaultStats& f = out.fault_stats;
@@ -173,7 +182,9 @@ bool read_record(std::istream& is, RunRecord& out) {
         !read_f(is, c.app_loss_pct) || !read_int(is, c.video_fidelity_final) ||
         !read_f(is, c.page_time_ms) || !read_int(is, c.pages_completed) ||
         !read_f(is, c.ftp_seconds) || !read_u64(is, c.app_bytes) ||
-        !read_f(is, c.mean_delay_ms) || !read_u64(is, c.delay_samples)) {
+        !read_f(is, c.mean_delay_ms) || !read_u64(is, c.delay_samples) ||
+        !read_u64(is, c.assoc_joins) || !read_u64(is, c.assoc_leaves) ||
+        !read_u64(is, c.assoc_retries)) {
       return false;
     }
     c.ip = net::Ipv4Addr{static_cast<std::uint32_t>(ip_raw)};

@@ -103,6 +103,18 @@ std::string canonical_config(const ScenarioConfig& cfg) {
                        std::to_string(w.duration.count_ns());
     put(out, "fault.window", line);
   }
+  put_b(out, "fault.storm.enabled", cfg.fault.storm.enabled);
+  if (cfg.fault.storm.enabled) {
+    const fault::ChurnStorm& s = cfg.fault.storm;
+    put_i64(out, "fault.storm.start_ns", s.start.count_ns());
+    put_i64(out, "fault.storm.duration_ns", s.duration.count_ns());
+    put_f(out, "fault.storm.flap_fraction", s.flap_fraction);
+    put_i64(out, "fault.storm.min_away_ns", s.min_away.count_ns());
+    put_i64(out, "fault.storm.max_away_ns", s.max_away.count_ns());
+    put_i64(out, "fault.storm.min_home_ns", s.min_home.count_ns());
+    put_i64(out, "fault.storm.max_home_ns", s.max_home.count_ns());
+  }
+  put_b(out, "measured_goodput", cfg.measured_goodput);
   put_i64(out, "schedule_repeats", cfg.schedule_repeats);
   put_i64(out, "schedule_repeat_spacing_ns",
           cfg.schedule_repeat_spacing.count_ns());
@@ -127,7 +139,7 @@ std::string canonical_config(const ScenarioConfig& cfg) {
 // extend canonical_config above and bump kCodeVersionSalt, then update the
 // pinned size.  Other ABIs skip the check rather than pin a wrong number.
 #if defined(__GLIBCXX__) && defined(__x86_64__)
-static_assert(sizeof(ScenarioConfig) == 400,
+static_assert(sizeof(ScenarioConfig) == 464,
               "ScenarioConfig changed: update canonical_config() and bump "
               "kCodeVersionSalt");
 #endif

@@ -36,7 +36,9 @@ namespace pp::exp::sweep {
 // unchanged by design, but perf baselines must be re-measured cold.
 // 0003: channel-quality subsystem + policy zoo — new canonical_config
 // fields (channel.*), new RunRecord columns (mean_delay_ms/delay_samples).
-inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0003ULL;
+// 0004: client churn lifecycle — new canonical_config fields
+// (measured_goodput, fault.storm.*), new RunRecord assoc counters.
+inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0004ULL;
 
 // Deterministic text rendering of every config field ("k=v\n" lines).
 std::string canonical_config(const ScenarioConfig& cfg);

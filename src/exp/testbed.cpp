@@ -36,6 +36,32 @@ Testbed::Testbed(TestbedParams params,
       proxy_ap_link_->b_to_a());
   ap_.set_uplink_sink(*ap_uplink_sink_);
 
+  // Churn: expand a declared storm into concrete per-client windows now
+  // that the fleet's addresses are known; the storm flag is consumed so
+  // the FaultPlan only ever sees plain windows.
+  if (params_.fault.storm.enabled) {
+    std::vector<net::Ipv4Addr> fleet;
+    fleet.reserve(static_cast<std::size_t>(params_.num_clients));
+    for (int i = 0; i < params_.num_clients; ++i)
+      fleet.push_back(testbed_client_ip(i));
+    std::vector<fault::FaultWindow> storm_windows =
+        fault::expand_churn_storm(params_.fault.storm, fleet, params_.seed);
+    params_.fault.windows.insert(params_.fault.windows.end(),
+                                 storm_windows.begin(), storm_windows.end());
+    params_.fault.storm.enabled = false;
+  }
+  // Any churn window turns the association agents on fleet-wide: the
+  // clients named by windows flap, the rest just run with the agent idle
+  // in the Associated state.
+  bool churny = false;
+  for (const auto& w : params_.fault.windows)
+    if (w.kind == fault::FaultKind::ClientChurn) churny = true;
+  if (churny) {
+    params_.client.assoc.enabled = true;
+    params_.client.assoc.run_seed = params_.seed;
+    params_.client.assoc.proxy_ip = params_.proxy.proxy_ip;
+  }
+
   // Fault plan: wired to every faultable component; windows arm at start().
   if (params_.fault.any()) {
     fault_ = std::make_unique<fault::FaultPlan>(sim_, params_.fault,
@@ -49,6 +75,22 @@ Testbed::Testbed(TestbedParams params,
         proxy_->pause();
       } else {
         proxy_->resume();
+      }
+    });
+    // Churn coordinator: drive the client's association agent and keep the
+    // AP's association table in step.  (clients_ fills later in this
+    // constructor; the callback only fires at sim time, after start().)
+    fault_->set_churn([this](net::Ipv4Addr ip, bool away) {
+      for (auto& c : clients_) {
+        if (c->ip() == ip) {
+          c->set_away(away);
+          break;
+        }
+      }
+      if (away) {
+        ap_.disassociate(ip);
+      } else {
+        ap_.associate(ip);
       }
     });
   }

@@ -1,5 +1,6 @@
 #include "fault/plan.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "check/check.hpp"
@@ -16,6 +17,10 @@ namespace {
 // tag).  Changing this constant changes every faulted run.
 constexpr std::uint64_t kFaultStreamTag = 0xFA011E57'0DD5EEDEULL;
 
+// Separate stream for churn-storm expansion: storm timing must not perturb
+// (or be perturbed by) the corruption draw sequence above.
+constexpr std::uint64_t kChurnStreamTag = 0xC1108A17'F1A55EEDULL;
+
 }  // namespace
 
 const char* to_string(FaultKind k) {
@@ -28,12 +33,61 @@ const char* to_string(FaultKind k) {
       return "link_flap";
     case FaultKind::ProxyPause:
       return "proxy_pause";
+    case FaultKind::ClientChurn:
+      return "client_churn";
   }
   return "?";
 }
 
 sim::Rng fault_stream(std::uint64_t run_seed) {
   return sim::Rng{run_seed ^ kFaultStreamTag};
+}
+
+sim::Rng churn_stream(std::uint64_t run_seed) {
+  return sim::Rng{run_seed ^ kChurnStreamTag};
+}
+
+std::vector<FaultWindow> expand_churn_storm(
+    const ChurnStorm& storm, const std::vector<net::Ipv4Addr>& fleet,
+    std::uint64_t run_seed) {
+  std::vector<FaultWindow> windows;
+  if (!storm.enabled || fleet.empty()) return windows;
+
+  sim::Rng rng = churn_stream(run_seed);
+
+  // Uniform duration draw over [lo, hi]; degenerate ranges collapse to lo.
+  auto draw = [&rng](sim::Duration lo, sim::Duration hi) {
+    if (hi.count_ns() <= lo.count_ns()) return lo;
+    return sim::Time::ns(rng.uniform_int(lo.count_ns(), hi.count_ns()));
+  };
+
+  // Pick the flapping subset with a seeded partial Fisher-Yates shuffle so
+  // the choice depends only on (fleet order, seed), never on hash layout.
+  std::vector<net::Ipv4Addr> pool = fleet;
+  std::size_t n_flap = static_cast<std::size_t>(
+      storm.flap_fraction * static_cast<double>(pool.size()) + 0.5);
+  n_flap = std::max<std::size_t>(1, std::min(n_flap, pool.size()));
+  for (std::size_t i = 0; i < n_flap; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(pool.size() - i) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+
+  // Each flapping client alternates: home stagger, then away/home cycles.
+  // Every away window must close strictly before the storm does, so the
+  // auditor's end-of-run recovery demand always holds.
+  const sim::Time storm_end = storm.start + storm.duration;
+  for (std::size_t i = 0; i < n_flap; ++i) {
+    sim::Time t = storm.start + draw(storm.min_home, storm.max_home);
+    for (;;) {
+      const sim::Duration away = draw(storm.min_away, storm.max_away);
+      if (t + away >= storm_end) break;
+      windows.push_back({FaultKind::ClientChurn, pool[i], t, away});
+      t = t + away + draw(storm.min_home, storm.max_home);
+    }
+  }
+  return windows;
 }
 
 FaultPlan::FaultPlan(sim::Simulator& sim, FaultSpec spec,
@@ -86,7 +140,9 @@ void FaultPlan::arm() {
 void FaultPlan::activate(const FaultWindow& w) {
   ++stats_.windows_activated;
   const int depth = ++depth_[w.kind];
-  if (depth == 1) apply(w, true);
+  // System-wide kinds nest (only the outermost edge applies); churn windows
+  // target distinct clients, so every window's own edges must fire.
+  if (depth == 1 || w.kind == FaultKind::ClientChurn) apply(w, true);
   PP_OBS(if (ctr_activated_) ctr_activated_->inc();
          if (auto* tl = obs_.timeline())
              tl->record(sim_.now(), obs::EventKind::FaultStart, w.client.raw(),
@@ -98,10 +154,9 @@ void FaultPlan::recover(const FaultWindow& w) {
   auto it = depth_.find(w.kind);
   PP_CHECK_AT(it != depth_.end() && it->second > 0, "fault.window.pairing",
               sim_.now());
-  if (--it->second == 0) {
-    depth_.erase(it);
-    apply(w, false);
-  }
+  const bool closed = --it->second == 0;
+  if (closed) depth_.erase(it);
+  if (closed || w.kind == FaultKind::ClientChurn) apply(w, false);
   PP_OBS(if (ctr_recovered_) ctr_recovered_->inc();
          if (hist_window_us_) hist_window_us_->observe(
              static_cast<std::uint64_t>(w.duration.count_us()));
@@ -124,6 +179,9 @@ void FaultPlan::apply(const FaultWindow& w, bool on) {
       break;
     case FaultKind::ProxyPause:
       if (proxy_pause_) proxy_pause_(on);
+      break;
+    case FaultKind::ClientChurn:
+      if (churn_) churn_(w.client, on);
       break;
   }
 }

@@ -62,6 +62,13 @@ class FaultPlan : public net::ChannelLossModel {
   void set_proxy_pause(std::function<void(bool paused)> fn) {
     proxy_pause_ = std::move(fn);
   }
+  // Called with (client, true) when a ClientChurn window opens (the client
+  // leaves the cell) and (client, false) when it closes (rejoin).  Unlike
+  // the system-wide kinds, churn applies per window: overlapping windows
+  // for different clients each fire.
+  void set_churn(std::function<void(net::Ipv4Addr client, bool away)> fn) {
+    churn_ = std::move(fn);
+  }
 
   // Publish fault counters and FaultStart/FaultEnd timeline events.
   void set_obs(obs::Hook hook);
@@ -100,6 +107,7 @@ class FaultPlan : public net::ChannelLossModel {
   net::Channel* link_down_ = nullptr;
   net::Channel* link_up_ = nullptr;
   std::function<void(bool)> proxy_pause_;
+  std::function<void(net::Ipv4Addr, bool)> churn_;
 
   // The Gilbert-Elliott chain, delegated to the channel subsystem in
   // shared-stream mode: the model replays the exact per-attempt draw
@@ -122,5 +130,19 @@ class FaultPlan : public net::ChannelLossModel {
 // seed and a fixed stream tag.  Exposed so tests can prove fault draws
 // reproduce without constructing a plan.
 sim::Rng fault_stream(std::uint64_t run_seed);
+
+// The named churn RNG stream, consumed only by expand_churn_storm — its
+// own tag so storm timing never correlates with the corruption draws.
+sim::Rng churn_stream(std::uint64_t run_seed);
+
+// Expand a churn storm into concrete per-client ClientChurn windows over
+// `fleet`.  Pure function of (storm, fleet, run_seed): the flapping subset
+// is chosen by seeded Fisher-Yates draws and each chosen client alternates
+// away/home periods drawn uniformly from the storm's bounds, clipped so
+// every window closes before the storm does.  Returns an empty vector when
+// the storm is disabled or the fleet is empty.
+std::vector<FaultWindow> expand_churn_storm(const ChurnStorm& storm,
+                                            const std::vector<net::Ipv4Addr>& fleet,
+                                            std::uint64_t run_seed);
 
 }  // namespace pp::fault

@@ -127,6 +127,29 @@ void AccessPoint::enable_psm(sim::Duration interval) {
 
 void AccessPoint::register_psm_station(Ipv4Addr ip) {
   psm_queues_.emplace(ip, PsmQueue{});
+  psm_registered_.emplace(ip, true);
+}
+
+void AccessPoint::associate(Ipv4Addr ip) {
+  if (psm_registered_.find(ip) == psm_registered_.end()) return;
+  psm_queues_.emplace(ip, PsmQueue{});  // no-op if already present
+}
+
+void AccessPoint::disassociate(Ipv4Addr ip) {
+  auto it = psm_queues_.find(ip);
+  if (it == psm_queues_.end()) return;
+  // Flush the departed station's parked frames into the drop counter —
+  // each one entered downlink_in_, so conservation demands they leave
+  // through dropped_.  Erasing the queue removes the TIM entry and stops
+  // further parking until the station re-associates.
+  PsmQueue& q = it->second;
+  while (!q.frames.empty()) {
+    ++dropped_;
+    ++assoc_flushed_;
+    note_drop(q.frames.front());
+    q.frames.pop_front();
+  }
+  psm_queues_.erase(it);
 }
 
 std::uint64_t AccessPoint::psm_buffered_frames() const {

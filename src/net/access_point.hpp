@@ -72,6 +72,16 @@ class AccessPoint : public PacketSink, public WirelessStation {
   std::uint64_t beacons_sent() const { return beacons_sent_; }
   std::uint64_t psm_buffered_frames() const;
 
+  // -- Association table (client churn) -------------------------------------------
+  // A departing station's parked PSM frames are flushed to the drop
+  // counter (so downlink conservation still holds) and its queue — hence
+  // its TIM entry — disappears; a returning station that was registered
+  // for PSM gets a fresh parked queue.  Both are no-ops for stations that
+  // never registered, so non-PSM testbeds are unaffected.
+  void associate(Ipv4Addr ip);
+  void disassociate(Ipv4Addr ip);
+  std::uint64_t assoc_flushed_frames() const { return assoc_flushed_; }
+
   // Invariant audit (see src/check/): downlink packet conservation —
   // in == forwarded + dropped + backlogged + PSM-parked.  Aborts via
   // PP_CHECK on violation.
@@ -111,7 +121,11 @@ class AccessPoint : public PacketSink, public WirelessStation {
   sim::Duration beacon_interval_;
   std::uint64_t beacon_seq_ = 0;
   std::uint64_t beacons_sent_ = 0;
+  std::uint64_t assoc_flushed_ = 0;  // PSM frames dropped at disassociation
   std::unordered_map<Ipv4Addr, PsmQueue, Ipv4AddrHash> psm_queues_;
+  // Stations ever registered for PSM, so associate() knows whether to
+  // re-create a parked queue (disassociation erases the queue itself).
+  std::unordered_map<Ipv4Addr, bool, Ipv4AddrHash> psm_registered_;
   sim::EventHandle beacon_timer_;
 };
 

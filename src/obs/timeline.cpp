@@ -22,6 +22,8 @@ constexpr KindName kKindNames[] = {
     {EventKind::FaultEnd, "fault_end"},
     {EventKind::ScheduleRepeat, "schedule_repeat"},
     {EventKind::Resync, "resync"},
+    {EventKind::ClientJoin, "client_join"},
+    {EventKind::ClientLeave, "client_leave"},
 };
 
 }  // namespace

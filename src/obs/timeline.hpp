@@ -32,6 +32,8 @@ enum class EventKind : std::uint8_t {
   FaultEnd,           // matches a prior FaultStart (same subject + value)
   ScheduleRepeat,     // value = repeat index (1-based)
   Resync,             // subject = client, value = missed SRPs in the outage
+  ClientJoin,         // subject = client (proxy admitted a join)
+  ClientLeave,        // subject = client, value = dropped payload bytes
 };
 
 const char* to_string(EventKind k);

@@ -148,6 +148,17 @@ BuiltSchedule ChannelAwareOpportunisticScheduler::build(
     const sim::Duration remaining = available - used;
     if (remaining <= sp_.burst_guard) break;  // tail starved this interval
     sim::Duration cost = demand_cost(*d, est, sp_) + sp_.burst_guard;
+    if (use_measured_goodput_ && d->channel.known &&
+        d->channel.goodput_bps > 0) {
+      // Measured EWMA goodput instead of the rung-nominal rate: only ever
+      // widens the slot (a lucky EWMA above nominal must not under-size it
+      // and cause an overrun the burst guard cannot absorb).
+      const sim::Duration measured =
+          sim::Time::seconds(static_cast<double>(d->total()) * 8.0 /
+                             d->channel.goodput_bps) +
+          sp_.burst_guard;
+      if (measured > cost) cost = measured;
+    }
     if (cost > remaining) cost = remaining;
     slots.emplace_back(d->ip, cost);
     used += cost;

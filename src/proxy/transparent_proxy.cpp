@@ -61,6 +61,14 @@ void TransparentProxy::set_obs(obs::Hook hook) {
   scheduler_->set_obs(hook);
 }
 
+obs::Counter* TransparentProxy::churn_counter(obs::Counter*& slot,
+                                              const char* name) {
+  if (slot == nullptr) {
+    if (auto* m = obs_.metrics()) slot = m->counter(name);
+  }
+  return slot;
+}
+
 void TransparentProxy::start(sim::Time first_srp) {
   if (!wired_tx_ || !wireless_tx_)
     throw std::logic_error("TransparentProxy: transmitters not wired");
@@ -118,8 +126,206 @@ TransparentProxy::ClientState& TransparentProxy::client_state(
   return *it->second;
 }
 
+void TransparentProxy::register_client(net::Ipv4Addr ip) {
+  ClientState& cs = client_state(ip);
+  if (cs.membership == Membership::Joined) return;
+  // Re-join: a Draining client that comes back keeps its queue; a Departed
+  // one starts clean (its queue was dropped at departure).
+  cs.drain_timer.cancel();
+  cs.membership = Membership::Joined;
+  cs.last_activity = sim_.now();
+}
+
+void TransparentProxy::deregister_client(net::Ipv4Addr ip) {
+  auto it = clients_.find(ip);
+  if (it == clients_.end() || it->second->membership == Membership::Departed)
+    return;
+  ClientState& cs = *it->second;
+  cs.drain_timer.cancel();
+  drop_queue(cs);
+  abort_splices(cs);
+  cs.membership = Membership::Departed;
+  ++stats_.leaves;
+  PP_OBS(if (auto* c = churn_counter(ctr_leaves_, "proxy.churn.leaves"))
+             c->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::ClientLeave, ip.raw()));
+}
+
+bool TransparentProxy::client_active(net::Ipv4Addr ip) const {
+  auto it = clients_.find(ip);
+  return it != clients_.end() &&
+         it->second->membership != Membership::Departed;
+}
+
+void TransparentProxy::on_assoc_packet(const net::Packet& pkt) {
+  const auto msg = std::dynamic_pointer_cast<const AssocMessage>(pkt.data);
+  if (!msg) return;
+  ++stats_.assoc_rx;
+  ClientState& cs = client_state(pkt.src);
+  switch (msg->kind) {
+    case AssocKind::Join: {
+      const bool fresh = cs.membership != Membership::Joined;
+      if (fresh) {
+        cs.drain_timer.cancel();
+        cs.membership = Membership::Joined;
+        cs.last_activity = sim_.now();
+        ++stats_.joins;
+        PP_OBS(if (auto* c = churn_counter(ctr_joins_, "proxy.churn.joins"))
+                   c->inc();
+               if (auto* tl = obs_.timeline())
+                   tl->record(sim_.now(), obs::EventKind::ClientJoin,
+                              cs.ip.raw()));
+      }
+      // Ack first, renegotiate second: the unicast ack enters the downlink
+      // path ahead of the fresh broadcast, so the client normally holds a
+      // JoinAck by the time the schedule lands.
+      send_assoc(AssocKind::JoinAck, cs.ip, msg->seq);
+      if (fresh) renegotiate();
+      break;
+    }
+    case AssocKind::Leave: {
+      if (cs.membership == Membership::Departed) {
+        // The LeaveAck was lost; the departure already completed.  Re-ack.
+        send_assoc(AssocKind::LeaveAck, cs.ip, msg->seq);
+        break;
+      }
+      cs.leave_seq = msg->seq;
+      if (cs.membership == Membership::Draining) break;  // retransmission
+      if (!msg->graceful) {
+        finish_leave(cs, /*timed_out=*/false);
+        break;
+      }
+      cs.membership = Membership::Draining;
+      cs.drain_timer =
+          sim_.after(params_.drain_deadline, [this, ip = cs.ip] {
+            auto it = clients_.find(ip);
+            if (it != clients_.end() &&
+                it->second->membership == Membership::Draining)
+              finish_leave(*it->second, /*timed_out=*/true);
+          });
+      // A fresh schedule gives the drain its slot without waiting out the
+      // current interval; if nothing is queued this completes immediately.
+      maybe_finish_drain(cs);
+      if (cs.membership == Membership::Draining) renegotiate();
+      break;
+    }
+    case AssocKind::JoinAck:
+    case AssocKind::LeaveAck:
+      break;  // client-bound; not expected on the uplink
+  }
+}
+
+void TransparentProxy::send_assoc(AssocKind kind, net::Ipv4Addr client,
+                                  std::uint64_t seq) {
+  if (!wireless_tx_) return;
+  auto msg = std::make_shared<AssocMessage>();
+  msg->kind = kind;
+  msg->seq = seq;
+  net::Packet pkt = net::make_packet();
+  pkt.src = params_.proxy_ip;
+  pkt.src_port = kAssocPort;
+  pkt.dst = client;
+  pkt.dst_port = kAssocPort;
+  pkt.proto = net::Protocol::Udp;
+  pkt.payload = AssocMessage::kWireBytes;
+  pkt.data = std::move(msg);
+  pkt.sent_at = sim_.now();
+  wireless_tx_(std::move(pkt));
+}
+
+void TransparentProxy::renegotiate() {
+  if (!running_ || paused_) return;
+  ++stats_.renegotiations;
+  PP_OBS(if (auto* c =
+                 churn_counter(ctr_renegs_, "proxy.churn.renegotiations"))
+             c->inc());
+  // Collapse the current interval: cancel the pending SRP and every
+  // burst/repeat timer, close the gates, and broadcast a fresh schedule
+  // right away on the normal path.
+  tick_handle_.cancel();
+  for (auto& h : burst_handles_) h.cancel();
+  burst_handles_.clear();
+  // pp-lint: allow(unordered-iter): gate close is order-insensitive
+  for (const auto& [ip, cs] : clients_)
+    for (Splice* s : cs->splices) s->client_side->set_send_gate(false);
+  tick_handle_ = sim_.at(sim_.now(), [this] { schedule_tick(); });
+}
+
+bool TransparentProxy::drained(const ClientState& cs) const {
+  if (!cs.pkt_q.empty()) return false;
+  for (const Splice* s : cs.splices)
+    if (s->buffered + s->client_side->bytes_unsent() > 0) return false;
+  return true;
+}
+
+void TransparentProxy::maybe_finish_drain(ClientState& cs) {
+  if (cs.membership == Membership::Draining && drained(cs))
+    finish_leave(cs, /*timed_out=*/false);
+}
+
+void TransparentProxy::finish_leave(ClientState& cs, bool timed_out) {
+  (void)timed_out;
+  cs.drain_timer.cancel();
+  const std::uint64_t dropped = cs.pkt_q_bytes;
+  drop_queue(cs);
+  abort_splices(cs);
+  cs.membership = Membership::Departed;
+  ++stats_.leaves;
+  PP_OBS(if (auto* c = churn_counter(ctr_leaves_, "proxy.churn.leaves"))
+             c->inc();
+         if (auto* tl = obs_.timeline())
+             tl->record(sim_.now(), obs::EventKind::ClientLeave, cs.ip.raw(),
+                        dropped));
+  send_assoc(AssocKind::LeaveAck, cs.ip, cs.leave_seq);
+}
+
+void TransparentProxy::drop_queue(ClientState& cs) {
+  const std::uint64_t bytes = cs.pkt_q_bytes;
+  while (!cs.pkt_q.empty()) {
+    const std::uint32_t payload = cs.pkt_q.front().payload;
+    cs.pkt_q.pop_front();
+    cs.pkt_q_bytes -= payload;
+    total_q_bytes_ -= payload;
+    ++stats_.churn_dropped_packets;
+  }
+  stats_.churn_dropped_bytes += bytes;
+  PP_CHECK_AT(cs.pkt_q_bytes == 0, "proxy.churn.queue_drop", sim_.now());
+  PP_OBS(if (bytes > 0) {
+    if (auto* c =
+            churn_counter(ctr_churn_dropped_, "proxy.churn.dropped_bytes"))
+      c->inc(bytes);
+    if (twg_queue_depth_)
+      twg_queue_depth_->set(sim_.now(), static_cast<double>(total_q_bytes_));
+  });
+}
+
+void TransparentProxy::abort_splices(ClientState& cs) {
+  // The departing client will never ack another segment: tear both sides
+  // down now so no per-splice state outlives membership.  Wired segments
+  // that later arrive for these flows count as unmatched, like segments
+  // for any reaped splice.
+  while (!cs.splices.empty()) {
+    Splice* sp = cs.splices.back();
+    cs.splices.pop_back();
+    by_server_flow_.erase(sp->key.reversed());
+    by_client_flow_.erase(sp->key);
+    ++stats_.splices_closed;
+  }
+}
+
 void TransparentProxy::enqueue_downlink(net::Packet pkt) {
   ClientState& cs = client_state(pkt.dst);
+  // No membership, no buffering: downlink for a departed client is dropped
+  // at the door (counted with the queue-limit drops).
+  if (cs.membership == Membership::Departed) {
+    ++stats_.queue_drops;
+    PP_OBS(if (ctr_queue_drops_) ctr_queue_drops_->inc();
+           if (auto* tl = obs_.timeline())
+               tl->record(sim_.now(), obs::EventKind::Drop, pkt.dst.raw(),
+                          pkt.payload));
+    return;
+  }
   cs.last_activity = sim_.now();
   if (cs.pkt_q_bytes + pkt.payload > params_.queue_limit_bytes) {
     ++stats_.queue_drops;
@@ -159,6 +365,13 @@ void TransparentProxy::on_wired_packet(net::Packet pkt) {
 }
 
 void TransparentProxy::on_wireless_packet(net::Packet pkt) {
+  // Association control is proxy-terminated in every mode — membership is
+  // orthogonal to how the downlink is shaped.
+  if (pkt.proto == net::Protocol::Udp && !pkt.is_broadcast() &&
+      pkt.dst_port == kAssocPort && pkt.src_port == kAssocPort) {
+    on_assoc_packet(pkt);
+    return;
+  }
   if (params_.mode != ProxyMode::Splice) {
     wired_tx_(std::move(pkt));
     return;
@@ -267,17 +480,25 @@ void TransparentProxy::reap_splices() {
 }
 
 void TransparentProxy::audit() const {
-  // Datagram conservation: every packet ever queued was either bursted or
-  // is still sitting in a per-client queue (drops are counted before the
-  // queue, so they do not enter the identity).
+  // Datagram conservation: every packet ever queued was bursted, dropped
+  // at a departure, or is still sitting in a per-client queue (queue-limit
+  // drops are counted before the queue, so they do not enter the
+  // identity).  A departed client must hold no residue at all.
   std::uint64_t residual_pkts = 0;
   std::uint64_t residual_bytes = 0;
   // pp-lint: allow(unordered-iter): order-insensitive sums
   for (const auto& [ip, cs] : clients_) {
     residual_pkts += cs->pkt_q.size();
     residual_bytes += cs->pkt_q_bytes;
+    if (cs->membership == Membership::Departed) {
+      PP_CHECK_AT(cs->pkt_q.empty() && cs->pkt_q_bytes == 0 &&
+                      cs->splices.empty(),
+                  "proxy.churn.departed_state_leak", sim_.now());
+    }
   }
-  PP_CHECK_AT(stats_.queued_packets == stats_.burst_packets + residual_pkts,
+  PP_CHECK_AT(stats_.queued_packets == stats_.burst_packets +
+                                           stats_.churn_dropped_packets +
+                                           residual_pkts,
               "proxy.queue.packet_conservation", sim_.now());
   PP_CHECK_AT(total_q_bytes_ == residual_bytes,
               "proxy.queue.byte_conservation", sim_.now());
@@ -303,6 +524,9 @@ void TransparentProxy::schedule_tick() {
   demands.reserve(client_order_.size());
   for (const auto& ip : client_order_) {
     const ClientState& cs = *clients_.at(ip);
+    // Departed clients are out of the demand set; Draining ones stay until
+    // their queue empties or the drain deadline drops it.
+    if (cs.membership == Membership::Departed) continue;
     ClientDemand d;
     d.ip = ip;
     d.udp_bytes = cs.pkt_q_bytes;
@@ -408,7 +632,16 @@ void TransparentProxy::schedule_tick() {
 }
 
 void TransparentProxy::open_burst(const ScheduleEntry& entry) {
-  ClientState& cs = client_state(entry.client);
+  // The demand set can shrink mid-interval: a client that departed between
+  // the SRP and its slot must not have state re-created for a burst nobody
+  // is listening to.  Its slot simply goes unused (non-overlap holds).
+  auto cit = clients_.find(entry.client);
+  if (cit == clients_.end() ||
+      cit->second->membership == Membership::Departed) {
+    ++stats_.bursts_skipped;
+    return;
+  }
+  ClientState& cs = *cit->second;
   ++stats_.bursts_opened;
   sim::Duration budget = entry.duration - params_.slots.burst_guard;
   if (budget < sim::Time::zero()) budget = sim::Time::zero();
@@ -529,10 +762,22 @@ void TransparentProxy::open_burst(const ScheduleEntry& entry) {
   // before it sleeps on the mark.
   if (need_empty_marker) send_empty_burst_marker(entry.client);
 
+  if (cs.membership == Membership::Draining && burst_bytes > 0) {
+    stats_.churn_drained_bytes += burst_bytes;
+    PP_OBS(if (auto* c = churn_counter(ctr_churn_drained_,
+                                       "proxy.churn.drained_bytes"))
+               c->inc(burst_bytes));
+  }
+
   PP_OBS(if (hist_burst_bytes_) hist_burst_bytes_->observe(burst_bytes);
          if (auto* tl = obs_.timeline())
              tl->span(sim_.now(), entry.duration, obs::EventKind::Burst,
                       entry.client.raw(), burst_bytes));
+
+  // A graceful leaver whose last queued byte just went out departs now
+  // rather than waiting for the drain deadline.  (May destroy this burst's
+  // splices — nothing below touches them.)
+  maybe_finish_drain(cs);
 }
 
 void TransparentProxy::close_burst(const ScheduleEntry& entry) {

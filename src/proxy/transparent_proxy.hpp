@@ -28,6 +28,7 @@
 #include "net/packet.hpp"
 #include "net/wireless.hpp"
 #include "obs/hooks.hpp"
+#include "proxy/assoc.hpp"
 #include "proxy/bandwidth.hpp"
 #include "proxy/marker.hpp"
 #include "proxy/schedule.hpp"
@@ -75,6 +76,10 @@ struct ProxyParams {
   sim::Duration delay_target = sim::Time::ms(2000);
   transport::TcpOptions server_side_tcp{};  // manual_consume forced on
   transport::TcpOptions client_side_tcp{};  // defer_rtx_when_gated forced on
+  // Graceful-leave drain budget: a departing client's queue stays in the
+  // demand set this long; whatever has not been bursted by then is dropped
+  // (with conservation accounting) and the LeaveAck goes out regardless.
+  sim::Duration drain_deadline = sim::Time::ms(1500);
 };
 
 struct ProxyStats {
@@ -91,6 +96,15 @@ struct ProxyStats {
   std::uint64_t unmatched_packets = 0;
   std::uint64_t schedule_repeats_sent = 0;
   std::uint64_t pauses = 0;
+  // -- Churn lifecycle ---------------------------------------------------------
+  std::uint64_t joins = 0;               // Join handshakes admitted
+  std::uint64_t leaves = 0;              // departures completed (acked/forced)
+  std::uint64_t renegotiations = 0;      // membership-triggered immediate SRPs
+  std::uint64_t assoc_rx = 0;            // association control packets seen
+  std::uint64_t bursts_skipped = 0;      // slots whose client left mid-interval
+  std::uint64_t churn_drained_bytes = 0;   // bytes bursted while Draining
+  std::uint64_t churn_dropped_packets = 0; // queue packets dropped at departure
+  std::uint64_t churn_dropped_bytes = 0;
 };
 
 class TransparentProxy {
@@ -131,8 +145,19 @@ class TransparentProxy {
   void resume();
   bool paused() const { return paused_; }
 
-  // Pre-register a client so it appears in schedules before any traffic.
-  void register_client(net::Ipv4Addr ip) { client_state(ip); }
+  // -- Membership --------------------------------------------------------------
+  // Admit a client into the demand set (pre-registration at testbed start,
+  // or a re-join after deregister_client / a Leave).  Idempotent.
+  void register_client(net::Ipv4Addr ip);
+  // Inverse of register_client: abrupt removal.  Drops the client's queued
+  // datagrams (counted as churn drops so conservation audits still hold),
+  // aborts its splices, and excludes it from future schedules.  The state
+  // slot itself is retained (Departed) so churn never grows the heap; a
+  // later register_client revives it with no stale bytes.  No-op for
+  // unknown clients.
+  void deregister_client(net::Ipv4Addr ip);
+  // True while the client is in the demand set (Joined or Draining).
+  bool client_active(net::Ipv4Addr ip) const;
 
   // Wire a channel-quality observer (owned elsewhere — typically the
   // testbed's ChannelModel, or the FaultPlan's delegated GE chain).  When
@@ -170,12 +195,20 @@ class TransparentProxy {
     bool client_close_requested = false;
   };
 
+  // Association lifecycle as the proxy sees it.  Departed entries are kept
+  // in the map (zero queued bytes, no splices) so sustained churn reuses
+  // the same slots instead of growing the heap.
+  enum class Membership : std::uint8_t { Joined, Draining, Departed };
+
   struct ClientState {
     net::Ipv4Addr ip;
     std::deque<net::Packet> pkt_q;  // buffered raw downlink packets
     std::uint64_t pkt_q_bytes = 0;
     std::vector<Splice*> splices;
     sim::Time last_activity;
+    Membership membership = Membership::Joined;
+    std::uint64_t leave_seq = 0;  // seq to echo in the eventual LeaveAck
+    sim::EventHandle drain_timer;
   };
 
   class Sink : public net::PacketSink {
@@ -198,10 +231,26 @@ class TransparentProxy {
   void on_wireless_packet(net::Packet pkt);
   ClientState& client_state(net::Ipv4Addr ip);
   void enqueue_downlink(net::Packet pkt);
+  void on_assoc_packet(const net::Packet& pkt);
+  void send_assoc(AssocKind kind, net::Ipv4Addr client, std::uint64_t seq);
+  // Membership changed: collapse the current interval and broadcast a
+  // fresh schedule immediately (the k-repeat hardening rides along).
+  void renegotiate();
+  bool drained(const ClientState& cs) const;
+  void maybe_finish_drain(ClientState& cs);
+  // Complete a departure: drop whatever is left, abort splices, mark
+  // Departed, ack the Leave.
+  void finish_leave(ClientState& cs, bool timed_out);
+  void drop_queue(ClientState& cs);
+  void abort_splices(ClientState& cs);
   Splice& create_splice(const net::Packet& syn);
   void maybe_finish_splice(Splice& s);
   void reap_splices();
 
+  // Churn counters register on first use, not at set_obs: a churn-free run
+  // must publish no churn metrics, or its digest would shift against the
+  // pinned legacy fingerprints.
+  obs::Counter* churn_counter(obs::Counter*& slot, const char* name);
   void schedule_tick();
   void open_burst(const ScheduleEntry& entry);
   void close_burst(const ScheduleEntry& entry);
@@ -231,6 +280,11 @@ class TransparentProxy {
   obs::Counter* ctr_queue_drops_ = nullptr;
   obs::Counter* ctr_queued_ = nullptr;
   obs::Counter* ctr_empty_markers_ = nullptr;
+  obs::Counter* ctr_joins_ = nullptr;
+  obs::Counter* ctr_leaves_ = nullptr;
+  obs::Counter* ctr_renegs_ = nullptr;
+  obs::Counter* ctr_churn_drained_ = nullptr;
+  obs::Counter* ctr_churn_dropped_ = nullptr;
   obs::Histogram* hist_burst_us_ = nullptr;
   obs::Histogram* hist_burst_bytes_ = nullptr;
   obs::Histogram* hist_interval_us_ = nullptr;

@@ -65,6 +65,18 @@ TEST(RngStreamUnique, FlagsInlineLiteralCollidingWithTag) {
   EXPECT_EQ(count_rule(out, "rng-stream-unique"), 2);
 }
 
+TEST(RngStreamUnique, FlagsChurnBackoffTagCollision) {
+  const ProjectIndex idx = load_fixture("churn_rng");
+  std::vector<Finding> out;
+  pp::analyze::rule_rng_stream_unique(idx, out);
+  // Both sites of the shared churn/backoff tag value.
+  EXPECT_EQ(count_rule(out, "rng-stream-unique"), 2);
+  EXPECT_TRUE(
+      has_finding(out, "rng-stream-unique", "src/fault/churn_tags.cpp"));
+  EXPECT_TRUE(
+      has_finding(out, "rng-stream-unique", "src/client/assoc_tags.cpp"));
+}
+
 TEST(RngStreamUnique, CleanOnDistinctTags) {
   const ProjectIndex idx = load_fixture("rng_clean");
   std::vector<Finding> out;
@@ -88,6 +100,14 @@ TEST(ObsNameConsistency, FlagsTypoAndKindMismatch) {
   }
   EXPECT_TRUE(saw_typo);
   EXPECT_TRUE(saw_mismatch);
+}
+
+TEST(ObsNameConsistency, FlagsChurnCounterTypo) {
+  const ProjectIndex idx = load_fixture("churn_obs");
+  std::vector<Finding> out;
+  pp::analyze::rule_obs_name_consistency(idx, out);
+  ASSERT_EQ(count_rule(out, "obs-name-consistency"), 1);
+  EXPECT_NE(out[0].message.find("proxy.churn.jions"), std::string::npos);
 }
 
 TEST(ObsNameConsistency, ResolvesAcrossFilesAndSkipsDynamicNames) {

@@ -1,0 +1,16 @@
+// Positive fixture: a churn counter is registered under one name but a
+// read site spells it with a transposition — the dashboard would silently
+// show zero churn.
+struct Reg {
+  int* counter(const char*) { return nullptr; }
+  int* histogram(const char*) { return nullptr; }
+  const int* find_counter(const char*) const { return nullptr; }
+  const int* find_histogram(const char*) const { return nullptr; }
+};
+int fixture(Reg& r) {
+  r.counter("proxy.churn.joins");
+  r.counter("proxy.churn.leaves");
+  const int* ok = r.find_counter("proxy.churn.leaves");
+  const int* typo = r.find_counter("proxy.churn.jions");
+  return (ok ? 1 : 0) + (typo ? 1 : 0);
+}

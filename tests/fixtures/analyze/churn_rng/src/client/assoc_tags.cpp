@@ -1,0 +1,11 @@
+// Same literal value as src/fault/churn_tags.cpp — the backoff jitter
+// stream would replay the storm's draws.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kAssocStreamTag = 0xC1108A17F1A55EEDull;
+}  // namespace
+std::uint64_t fixture_assoc_stream(std::uint64_t run_seed) {
+  struct Rng { explicit Rng(std::uint64_t) {} };
+  Rng r{run_seed ^ kAssocStreamTag};
+  return kAssocStreamTag;
+}

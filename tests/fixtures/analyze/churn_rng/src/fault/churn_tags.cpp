@@ -1,0 +1,12 @@
+// Positive fixture: the churn-storm stream tag collides with the
+// association backoff tag in src/client — flap timing and backoff jitter
+// would correlate across the two subsystems.
+#include <cstdint>
+namespace {
+constexpr std::uint64_t kChurnStreamTag = 0xC1108A17'F1A55EEDULL;
+}  // namespace
+std::uint64_t fixture_churn_stream(std::uint64_t run_seed) {
+  struct Rng { explicit Rng(std::uint64_t) {} };
+  Rng r{run_seed ^ kChurnStreamTag};
+  return kChurnStreamTag;
+}
