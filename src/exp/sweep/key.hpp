@@ -38,7 +38,10 @@ namespace pp::exp::sweep {
 // fields (channel.*), new RunRecord columns (mean_delay_ms/delay_samples).
 // 0004: client churn lifecycle — new canonical_config fields
 // (measured_goodput, fault.storm.*), new RunRecord assoc counters.
-inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0004ULL;
+// 0005: chunk-queue data path — batched burst emission changes delivery
+// timing (one AP delay draw per burst, frames land inside one reservation)
+// and RNG draw order; replay digests re-pinned.
+inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0005ULL;
 
 // Deterministic text rendering of every config field ("k=v\n" lines).
 std::string canonical_config(const ScenarioConfig& cfg);

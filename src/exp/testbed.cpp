@@ -32,6 +32,9 @@ Testbed::Testbed(TestbedParams params,
   proxy_->set_wireless_tx([this](net::Packet pkt) {
     proxy_ap_link_->send_a_to_b(std::move(pkt));
   });
+  proxy_->set_wireless_burst_tx([this](net::ChunkQueue burst) {
+    proxy_ap_link_->send_burst_a_to_b(std::move(burst));
+  });
   ap_uplink_sink_ = std::make_unique<net::ChannelSink>(
       proxy_ap_link_->b_to_a());
   ap_.set_uplink_sink(*ap_uplink_sink_);

@@ -22,19 +22,74 @@ void AccessPoint::handle_packet(Packet pkt) {
   if (psm_enabled_) {
     auto it = psm_queues_.find(pkt.dst);
     if (it != psm_queues_.end()) {
-      // Per-station parking cap, separate from the forwarding backlog.
-      PsmQueue& q = it->second;
-      if (q.bytes + pkt.wire_size() > params_.queue_limit_bytes) {
+      // Per-station parking cap (payload bytes), separate from the
+      // forwarding backlog.
+      ChunkQueue& q = it->second;
+      if (q.bytes() + pkt.payload > params_.queue_limit_bytes) {
         ++dropped_;
         note_drop(pkt);
         return;
       }
-      q.bytes += pkt.wire_size();
-      q.frames.push_back(std::move(pkt));
+      q.push(std::move(pkt));
       return;
     }
   }
   forward_downlink(std::move(pkt));
+}
+
+void AccessPoint::handle_burst(ChunkQueue burst) {
+  if (burst.empty()) return;
+  // Stalled AP or PSM-parked destination: off the batched fast path —
+  // unbundle onto the per-frame machinery (which re-counts downlink_in_).
+  const Ipv4Addr dst = burst.front()->data->pkt.dst;
+  if (stalled_ || (psm_enabled_ && psm_queues_.count(dst) > 0)) {
+    while (!burst.empty()) handle_packet(burst.pop_packet());
+    return;
+  }
+  const std::uint64_t n = burst.packets();
+  downlink_in_ += n;
+  std::uint64_t wire = 0;
+  burst.for_each([&wire](const Chunk& c) { wire += chunk_wire_bytes(c); });
+  // One admission check for the chain: a slot's burst is one unit of work.
+  if (backlog_bytes_ + wire > params_.queue_limit_bytes) {
+    dropped_ += n;
+    PP_OBS(burst.for_each([this](const Chunk& c) {
+      if (ctr_dropped_) ctr_dropped_->inc();
+      if (auto* tl = obs_.timeline())
+        tl->record(sim_.now(), obs::EventKind::Drop, c.data->pkt.dst.raw(),
+                   c.length);
+    }));
+    return;  // the chain releases its views on destruction
+  }
+  backlog_bytes_ += wire;
+  backlog_packets_ += n;
+  PP_OBS(if (twg_backlog_)
+             twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_)));
+  // One service-delay draw for the whole burst: the slot's frames leave
+  // the AP back-to-back, so base delay + jitter (+ spike) is paid once.
+  sim::Duration delay = params_.base_delay;
+  auto& rng = sim_.rng();
+  delay += sim::Time::ns(static_cast<std::int64_t>(
+      rng.uniform() * static_cast<double>(params_.jitter_max.count_ns())));
+  if (params_.p_spike > 0 && rng.chance(params_.p_spike)) {
+    delay += sim::Time::ns(static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(params_.spike_max.count_ns())));
+  }
+  sim::Time depart = sim_.now() + delay;
+  if (depart < last_departure_) depart = last_departure_;
+  last_departure_ = depart;
+  sim_.at(depart, [this, wire, n, b = std::move(burst)]() mutable {
+    PP_CHECK_AT(backlog_bytes_ >= wire && backlog_packets_ >= n,
+                "net.access_point.backlog", sim_.now());
+    backlog_bytes_ -= wire;
+    backlog_packets_ -= n;
+    forwarded_ += n;
+    PP_OBS(if (ctr_forwarded_) {
+      ctr_forwarded_->inc(n);
+      twg_backlog_->set(sim_.now(), static_cast<double>(backlog_bytes_));
+    });
+    medium_.transmit_burst(radio_id_, std::move(b));
+  });
 }
 
 void AccessPoint::note_drop(const Packet& pkt) {
@@ -126,13 +181,13 @@ void AccessPoint::enable_psm(sim::Duration interval) {
 }
 
 void AccessPoint::register_psm_station(Ipv4Addr ip) {
-  psm_queues_.emplace(ip, PsmQueue{});
+  psm_queues_.emplace(ip, ChunkQueue{chunk_pool_});
   psm_registered_.emplace(ip, true);
 }
 
 void AccessPoint::associate(Ipv4Addr ip) {
   if (psm_registered_.find(ip) == psm_registered_.end()) return;
-  psm_queues_.emplace(ip, PsmQueue{});  // no-op if already present
+  psm_queues_.emplace(ip, ChunkQueue{chunk_pool_});  // no-op if present
 }
 
 void AccessPoint::disassociate(Ipv4Addr ip) {
@@ -142,12 +197,17 @@ void AccessPoint::disassociate(Ipv4Addr ip) {
   // each one entered downlink_in_, so conservation demands they leave
   // through dropped_.  Erasing the queue removes the TIM entry and stops
   // further parking until the station re-associates.
-  PsmQueue& q = it->second;
-  while (!q.frames.empty()) {
+  ChunkQueue& q = it->second;
+  while (!q.empty()) {
     ++dropped_;
     ++assoc_flushed_;
-    note_drop(q.frames.front());
-    q.frames.pop_front();
+    const Chunk* c = q.front();
+    PP_OBS(if (ctr_dropped_) ctr_dropped_->inc();
+           if (auto* tl = obs_.timeline())
+               tl->record(sim_.now(), obs::EventKind::Drop,
+                          c->data->pkt.dst.raw(), c->length));
+    (void)c;
+    q.drop_front();
   }
   psm_queues_.erase(it);
 }
@@ -155,7 +215,7 @@ void AccessPoint::disassociate(Ipv4Addr ip) {
 std::uint64_t AccessPoint::psm_buffered_frames() const {
   std::uint64_t n = 0;
   // pp-lint: allow(unordered-iter): order-insensitive sum over queue sizes
-  for (const auto& [ip, q] : psm_queues_) n += q.frames.size();
+  for (const auto& [ip, q] : psm_queues_) n += q.packets();
   return n;
 }
 
@@ -177,7 +237,7 @@ void AccessPoint::send_beacon() {
   // station order downstream) never depends on hash-bucket layout.
   msg->tim.reserve(psm_queues_.size());
   for (const auto* kv : check::sorted_items(psm_queues_))
-    if (!kv->second.frames.empty()) msg->tim.push_back(kv->first);
+    if (!kv->second.empty()) msg->tim.push_back(kv->first);
 
   Packet beacon = make_packet();
   beacon.dst = Ipv4Addr::broadcast();
@@ -198,13 +258,11 @@ void AccessPoint::send_beacon() {
     // Sorted: the flush order decides downlink FIFO order across stations,
     // which must not depend on hash-bucket layout.
     for (auto* kv : check::sorted_items(psm_queues_)) {
-      PsmQueue& q = kv->second;
-      if (q.frames.empty() || !medium_.station_listening(kv->first)) continue;
-      while (!q.frames.empty()) {
-        Packet p = std::move(q.frames.front());
-        q.frames.pop_front();
-        q.bytes -= p.wire_size();
-        if (q.frames.empty()) p.marked = true;
+      ChunkQueue& q = kv->second;
+      if (q.empty() || !medium_.station_listening(kv->first)) continue;
+      while (!q.empty()) {
+        Packet p = q.pop_packet();
+        if (q.empty()) p.marked = true;
         forward_downlink(std::move(p));
       }
     }

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "net/chunk.hpp"
 #include "net/link.hpp"
 #include "net/psm.hpp"
 #include "net/wireless.hpp"
@@ -27,6 +29,9 @@ struct AccessPointParams {
   // probability p_spike an extra uniform [0, spike_max) delay is added.
   double p_spike = 0.02;
   sim::Duration spike_max = sim::Time::ms(6);
+  // Caps the forwarding FIFO in wire bytes (it models the link budget) and
+  // each PSM parked queue in payload bytes (application buffering — the
+  // same convention as the proxy's queue_limit_bytes; see net/chunk.hpp).
   std::uint64_t queue_limit_bytes = 512 * 1024;
 };
 
@@ -41,6 +46,11 @@ class AccessPoint : public PacketSink, public WirelessStation {
 
   // PacketSink (wired side, downlink direction).
   void handle_packet(Packet pkt) override;
+  // Batched downlink: one forwarding-queue admission, one service-delay
+  // draw and one departure event for a whole burst chain, handed to the
+  // medium as a single reservation.  Stalled and PSM-parked destinations
+  // fall back to the per-frame path.
+  void handle_burst(ChunkQueue burst) override;
 
   // WirelessStation (radio side).
   bool listening() const override { return true; }
@@ -111,18 +121,18 @@ class AccessPoint : public PacketSink, public WirelessStation {
   obs::Counter* ctr_forwarded_ = nullptr;
   obs::TimeWeightedGauge* twg_backlog_ = nullptr;
 
-  // PSM state.  Each parked queue carries its byte total so the per-packet
-  // admission check is O(1) instead of a walk over the parked frames.
-  struct PsmQueue {
-    std::deque<Packet> frames;
-    std::uint64_t bytes = 0;
-  };
+  // PSM state.  Parked queues are ChunkQueues (the shared downlink queue
+  // type): payload-byte admission via bytes(), O(1) depth for the TIM.
+  // Nodes come from the AP's own pool — frames arriving in a burst chain
+  // are re-wrapped at the parking boundary, which costs a node move, not a
+  // payload copy.
+  std::shared_ptr<ChunkPool> chunk_pool_ = std::make_shared<ChunkPool>();
   bool psm_enabled_ = false;
   sim::Duration beacon_interval_;
   std::uint64_t beacon_seq_ = 0;
   std::uint64_t beacons_sent_ = 0;
   std::uint64_t assoc_flushed_ = 0;  // PSM frames dropped at disassociation
-  std::unordered_map<Ipv4Addr, PsmQueue, Ipv4AddrHash> psm_queues_;
+  std::unordered_map<Ipv4Addr, ChunkQueue, Ipv4AddrHash> psm_queues_;
   // Stations ever registered for PSM, so associate() knows whether to
   // re-create a parked queue (disassociation erases the queue itself).
   std::unordered_map<Ipv4Addr, bool, Ipv4AddrHash> psm_registered_;

@@ -42,6 +42,38 @@ bool Channel::transmit(Packet pkt) {
   return true;
 }
 
+bool Channel::transmit_burst(ChunkQueue burst) {
+  if (burst.empty()) return true;
+  const std::uint64_t n = burst.packets();
+  if (down_) {
+    packets_dropped_ += n;
+    return false;  // chain releases its views on destruction
+  }
+  // One admission check and one reservation for the whole chain.  Wire
+  // bytes (not payload): the channel models a link budget.
+  std::uint64_t wire = 0;
+  burst.for_each([&wire](const Chunk& c) { wire += chunk_wire_bytes(c); });
+  if (backlog_bytes_ + wire > params_.queue_limit_bytes) {
+    packets_dropped_ += n;
+    return false;
+  }
+  const sim::Time start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const double bits = 8.0 * static_cast<double>(
+                                wire + n * std::uint64_t{params_.framing_bytes});
+  const sim::Time done = start + sim::Time::seconds(bits / params_.rate_bps);
+  busy_until_ = done;
+  backlog_bytes_ += wire;
+  packets_sent_ += n;
+  sim_.at(done + params_.propagation,
+          [this, wire, b = std::move(burst)]() mutable {
+            PP_CHECK_AT(backlog_bytes_ >= wire, "net.channel.backlog",
+                        sim_.now());
+            backlog_bytes_ -= wire;
+            sink_.handle_burst(std::move(b));
+          });
+  return true;
+}
+
 EthernetLan::EthernetLan(sim::Simulator& sim, WiredParams params)
     : sim_{sim}, params_{params} {}
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "net/chunk.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,6 +21,13 @@ class PacketSink {
  public:
   virtual ~PacketSink() = default;
   virtual void handle_packet(Packet pkt) = 0;
+  // Batched delivery of a burst chain (one scheduled slot's worth of
+  // datagrams for one client).  Sinks on the burst path override this to
+  // keep the chain intact per hop; the default unbundles for sinks that
+  // only understand single packets.
+  virtual void handle_burst(ChunkQueue burst) {
+    while (!burst.empty()) handle_packet(burst.pop_packet());
+  }
 };
 
 struct WiredParams {
@@ -37,6 +45,12 @@ class Channel {
 
   // Queue a packet for transmission; returns false if dropped (queue full).
   bool transmit(Packet pkt);
+
+  // Queue a whole burst chain as one reservation: one admission check and
+  // one serialization/delivery event for the chain instead of N.  All-or-
+  // nothing at admission (a slot's burst is one unit of work); the chain
+  // arrives at the sink via handle_burst.  Empty bursts are a no-op.
+  bool transmit_burst(ChunkQueue burst);
 
   // Fault injection: while down, every transmit is dropped on the floor
   // (counted in packets_dropped).  In-flight packets still arrive — a link
@@ -71,6 +85,9 @@ class PointToPointLink {
 
   bool send_a_to_b(Packet pkt) { return a_to_b_.transmit(std::move(pkt)); }
   bool send_b_to_a(Packet pkt) { return b_to_a_.transmit(std::move(pkt)); }
+  bool send_burst_a_to_b(ChunkQueue burst) {
+    return a_to_b_.transmit_burst(std::move(burst));
+  }
 
   Channel& a_to_b() { return a_to_b_; }
   Channel& b_to_a() { return b_to_a_; }

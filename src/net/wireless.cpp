@@ -31,7 +31,9 @@ void WirelessMedium::set_obs(obs::Hook hook) {
   PP_OBS(obs_ = hook; if (auto* m = obs_.metrics()) {
     ctr_frames_sent_ = m->counter("net.frames_sent");
     ctr_frames_missed_ = m->counter("net.frames_missed");
+    ctr_bursts_ = m->counter("net.bursts");
     hist_airtime_us_ = m->histogram("net.frame_airtime_us");
+    hist_burst_frames_ = m->histogram("net.burst_frames");
   });
 }
 
@@ -68,6 +70,84 @@ void WirelessMedium::transmit(StationId sender, Packet pkt) {
           [this, sender, airtime, start, p = std::move(pkt)]() mutable {
             finish_frame(sender, std::move(p), start, airtime);
           });
+}
+
+void WirelessMedium::transmit_burst(StationId sender, ChunkQueue burst) {
+  if (burst.empty()) return;
+  PP_CHECK_AT(sender == ap_, "net.wireless.burst_sender", sim_.now());
+  // One airtime computation over the chain: per-frame MAC overhead and
+  // framing still apply to every frame; only the reservation is shared.
+  const Ipv4Addr dst = burst.front()->data->pkt.dst;
+  PP_CHECK_AT(!dst.is_broadcast(), "net.wireless.burst_broadcast",
+              sim_.now());
+  std::uint64_t wire_and_framing = 0;
+  burst.for_each([this, dst, &wire_and_framing](const Chunk& c) {
+    PP_CHECK_AT(c.data->pkt.dst == dst, "net.wireless.burst_multi_client",
+                sim_.now());
+    wire_and_framing += chunk_wire_bytes(c) + params_.mac_framing_bytes;
+  });
+  const std::uint64_t n = burst.packets();
+  const sim::Duration airtime =
+      params_.per_frame_overhead * static_cast<std::int64_t>(n) +
+      sim::Time::seconds(8.0 * static_cast<double>(wire_and_framing) /
+                         params_.rate_bps);
+  const sim::Time start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const sim::Time end = start + airtime;
+  busy_until_ = end;
+  frames_sent_ += n;
+  PP_OBS(if (ctr_frames_sent_) {
+    ctr_frames_sent_->inc(n);
+    ctr_bursts_->inc();
+    hist_burst_frames_->observe(n);
+    burst.for_each([this](const Chunk& c) {
+      hist_airtime_us_->observe(static_cast<std::uint64_t>(
+          (params_.per_frame_overhead +
+           sim::Time::seconds(8.0 *
+                              static_cast<double>(chunk_wire_bytes(c) +
+                                                  params_.mac_framing_bytes) /
+                              params_.rate_bps))
+              .count_us()));
+    });
+  });
+  stations_[sender].station->on_air(start, airtime);
+  sim_.at(end + params_.propagation,
+          [this, start, b = std::move(burst)]() mutable {
+            finish_burst(std::move(b), start);
+          });
+}
+
+void WirelessMedium::finish_burst(ChunkQueue burst, sim::Time air_start) {
+  // Resolve the addressed station once: the whole chain shares one client.
+  const Ipv4Addr dst = burst.front()->data->pkt.dst;
+  StationId receiver = kNoStation;
+  for (StationId i = 0; i < stations_.size(); ++i) {
+    if (i != ap_ && stations_[i].ip == dst) {
+      receiver = i;
+      break;
+    }
+  }
+  const bool keep = !sniffers_.empty();
+  sim::Time t = air_start;
+  while (!burst.empty()) {
+    Packet pkt = burst.pop_packet();
+    const sim::Duration airtime = airtime_of(pkt);
+    const sim::Time frame_start = t;
+    t = t + airtime;
+    if (receiver == kNoStation) {
+      ++frames_missed_;  // no such station; the frame vanishes
+      continue;
+    }
+    bool any_delivered = false;
+    if (keep) {
+      deliver_to(receiver, pkt, frame_start, airtime, any_delivered);
+      SnifferRecord rec{std::move(pkt), frame_start, airtime,
+                       /*from_ap=*/true, any_delivered};
+      for (auto& s : sniffers_) s(rec);
+    } else {
+      deliver_to(receiver, std::move(pkt), frame_start, airtime,
+                 any_delivered);
+    }
+  }
 }
 
 void WirelessMedium::deliver_to(StationId receiver, Packet pkt,

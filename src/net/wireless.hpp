@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "net/chunk.hpp"
 #include "net/packet.hpp"
 #include "obs/hooks.hpp"
 #include "sim/simulator.hpp"
@@ -109,6 +110,14 @@ class WirelessMedium {
   // Queue a frame for transmission.  The channel serializes requests.
   void transmit(StationId sender, Packet pkt);
 
+  // Queue a whole burst chain as one medium reservation (access point
+  // only, unicast to a single client): one airtime computation over the
+  // chain and one finish event instead of N.  Per-frame semantics are
+  // preserved — each frame still gets its own corruption draw, per-frame
+  // receive airtime, miss accounting and sniffer record — but the frames
+  // land back-to-back at the end of the reservation.
+  void transmit_burst(StationId sender, ChunkQueue burst);
+
   void add_sniffer(SnifferFn fn) { sniffers_.push_back(std::move(fn)); }
 
   // True when the station owning `ip` currently has its radio listening.
@@ -140,6 +149,7 @@ class WirelessMedium {
 
   void finish_frame(StationId sender, Packet pkt, sim::Time air_start,
                     sim::Duration airtime);
+  void finish_burst(ChunkQueue burst, sim::Time air_start);
   // Takes the packet by value: callers copy for all but the final delivery
   // of a frame and move for the last one, so a unicast frame's payload
   // shared_ptr is handed down the stack without refcount churn.
@@ -159,7 +169,9 @@ class WirelessMedium {
   obs::Hook obs_;
   obs::Counter* ctr_frames_sent_ = nullptr;
   obs::Counter* ctr_frames_missed_ = nullptr;
+  obs::Counter* ctr_bursts_ = nullptr;
   obs::Histogram* hist_airtime_us_ = nullptr;
+  obs::Histogram* hist_burst_frames_ = nullptr;
 };
 
 }  // namespace pp::net

@@ -38,6 +38,8 @@ BuiltSchedule FixedIntervalScheduler::build(
   const sim::Duration available = interval_ - sp_.lead;
   std::vector<std::pair<net::Ipv4Addr, sim::Duration>> slots;
   std::vector<std::uint64_t> bytes;
+  slots.reserve(demands.size());
+  bytes.reserve(demands.size());
   sim::Duration total = sim::Time::zero();
   std::uint64_t total_bytes = 0;
   for (const auto& d : demands) {

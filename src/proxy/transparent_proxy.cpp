@@ -8,6 +8,7 @@
 #include "check/sorted.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "proxy/burst.hpp"
 
 namespace pp::proxy {
 
@@ -33,6 +34,7 @@ void TransparentProxy::calibrate(const net::WirelessMedium& medium) {
   // Microbenchmark of Section 3.2.2: sample per-frame channel time over a
   // range of payload sizes and fit the linear send-cost model.
   std::vector<BandwidthEstimator::Sample> samples;
+  samples.reserve(8);
   for (std::uint32_t payload : {40u, 200u, 400u, 600u, 800u, 1000u, 1200u,
                                 1400u}) {
     net::Packet probe = net::make_packet();
@@ -107,7 +109,7 @@ void TransparentProxy::resume() {
 std::uint64_t TransparentProxy::buffered_bytes(net::Ipv4Addr client) const {
   auto it = clients_.find(client);
   if (it == clients_.end()) return 0;
-  std::uint64_t total = it->second->pkt_q_bytes;
+  std::uint64_t total = it->second->pkt_q.bytes();
   for (const Splice* s : it->second->splices)
     total += s->buffered + s->client_side->bytes_unsent();
   return total;
@@ -119,6 +121,7 @@ TransparentProxy::ClientState& TransparentProxy::client_state(
   if (it == clients_.end()) {
     auto cs = std::make_unique<ClientState>();
     cs->ip = ip;
+    cs->pkt_q.set_pool(chunk_pool_);
     cs->last_activity = sim_.now();
     it = clients_.emplace(ip, std::move(cs)).first;
     client_order_.push_back(ip);
@@ -267,7 +270,8 @@ void TransparentProxy::maybe_finish_drain(ClientState& cs) {
 void TransparentProxy::finish_leave(ClientState& cs, bool timed_out) {
   (void)timed_out;
   cs.drain_timer.cancel();
-  const std::uint64_t dropped = cs.pkt_q_bytes;
+  const std::uint64_t dropped = cs.pkt_q.bytes();
+  (void)dropped;  // obs-only: the ClientLeave record carries it
   drop_queue(cs);
   abort_splices(cs);
   cs.membership = Membership::Departed;
@@ -281,16 +285,14 @@ void TransparentProxy::finish_leave(ClientState& cs, bool timed_out) {
 }
 
 void TransparentProxy::drop_queue(ClientState& cs) {
-  const std::uint64_t bytes = cs.pkt_q_bytes;
+  const std::uint64_t bytes = cs.pkt_q.bytes();
   while (!cs.pkt_q.empty()) {
-    const std::uint32_t payload = cs.pkt_q.front().payload;
-    cs.pkt_q.pop_front();
-    cs.pkt_q_bytes -= payload;
-    total_q_bytes_ -= payload;
+    total_q_bytes_ -= cs.pkt_q.front()->length;
+    cs.pkt_q.drop_front();
     ++stats_.churn_dropped_packets;
   }
   stats_.churn_dropped_bytes += bytes;
-  PP_CHECK_AT(cs.pkt_q_bytes == 0, "proxy.churn.queue_drop", sim_.now());
+  PP_CHECK_AT(cs.pkt_q.bytes() == 0, "proxy.churn.queue_drop", sim_.now());
   PP_OBS(if (bytes > 0) {
     if (auto* c =
             churn_counter(ctr_churn_dropped_, "proxy.churn.dropped_bytes"))
@@ -327,7 +329,9 @@ void TransparentProxy::enqueue_downlink(net::Packet pkt) {
     return;
   }
   cs.last_activity = sim_.now();
-  if (cs.pkt_q_bytes + pkt.payload > params_.queue_limit_bytes) {
+  // Admission in payload bytes — the one queue_limit_bytes convention for
+  // application buffering (see net/chunk.hpp).
+  if (cs.pkt_q.bytes() + pkt.payload > params_.queue_limit_bytes) {
     ++stats_.queue_drops;
     PP_OBS(if (ctr_queue_drops_) ctr_queue_drops_->inc();
            if (auto* tl = obs_.timeline())
@@ -335,9 +339,8 @@ void TransparentProxy::enqueue_downlink(net::Packet pkt) {
                           pkt.payload));
     return;
   }
-  cs.pkt_q_bytes += pkt.payload;
   total_q_bytes_ += pkt.payload;
-  cs.pkt_q.push_back(std::move(pkt));
+  cs.pkt_q.push(std::move(pkt));
   ++stats_.queued_packets;
   PP_OBS(if (ctr_queued_) {
     ctr_queued_->inc();
@@ -463,6 +466,7 @@ void TransparentProxy::maybe_finish_splice(Splice& s) {
 
 void TransparentProxy::reap_splices() {
   std::vector<net::FlowKey> done;
+  done.reserve(by_client_flow_.size());
   // Sorted scan: stats and erase order must not follow hash-bucket layout.
   for (const auto* kv : check::sorted_items(by_client_flow_)) {
     if (kv->second->client_side->done() && kv->second->server_side->done())
@@ -488,11 +492,13 @@ void TransparentProxy::audit() const {
   std::uint64_t residual_bytes = 0;
   // pp-lint: allow(unordered-iter): order-insensitive sums
   for (const auto& [ip, cs] : clients_) {
-    residual_pkts += cs->pkt_q.size();
-    residual_bytes += cs->pkt_q_bytes;
+    // Chunk-granularity structural audit: view totals, refcounts and
+    // offset/length ranges of the residual queue itself.
+    cs->pkt_q.audit();
+    residual_pkts += cs->pkt_q.packets();
+    residual_bytes += cs->pkt_q.bytes();
     if (cs->membership == Membership::Departed) {
-      PP_CHECK_AT(cs->pkt_q.empty() && cs->pkt_q_bytes == 0 &&
-                      cs->splices.empty(),
+      PP_CHECK_AT(cs->pkt_q.empty() && cs->splices.empty(),
                   "proxy.churn.departed_state_leak", sim_.now());
     }
   }
@@ -520,7 +526,8 @@ void TransparentProxy::schedule_tick() {
   reap_splices();
   burst_handles_.clear();
 
-  std::vector<ClientDemand> demands;
+  std::vector<ClientDemand>& demands = demands_scratch_;
+  demands.clear();
   demands.reserve(client_order_.size());
   for (const auto& ip : client_order_) {
     const ClientState& cs = *clients_.at(ip);
@@ -529,8 +536,8 @@ void TransparentProxy::schedule_tick() {
     if (cs.membership == Membership::Departed) continue;
     ClientDemand d;
     d.ip = ip;
-    d.udp_bytes = cs.pkt_q_bytes;
-    d.udp_packets = cs.pkt_q.size();
+    d.udp_bytes = cs.pkt_q.bytes();
+    d.udp_packets = cs.pkt_q.packets();
     for (const Splice* s : cs.splices) {
       d.tcp_bytes += s->buffered + s->client_side->bytes_unsent();
       // A pending or unacknowledged FIN needs a slot too (it only leaves,
@@ -542,7 +549,8 @@ void TransparentProxy::schedule_tick() {
     // before blowing the delay target.  Full target when nothing is queued.
     d.deadline_slack = params_.delay_target;
     if (!cs.pkt_q.empty()) {
-      const sim::Duration age = sim_.now() - cs.pkt_q.front().sent_at;
+      const sim::Duration age =
+          sim_.now() - cs.pkt_q.front()->data->pkt.sent_at;
       d.deadline_slack = age >= params_.delay_target
                              ? sim::Time::zero()
                              : params_.delay_target - age;
@@ -600,6 +608,9 @@ void TransparentProxy::schedule_tick() {
   // their lag in repeat_offset so delay compensation still anchors on the
   // original SRP.  The timers ride burst_handles_ so pause()/stop() cancel
   // pending repeats with everything else.
+  burst_handles_.reserve(static_cast<std::size_t>(
+                             std::max(params_.schedule_repeats - 1, 0)) +
+                         2 * msg->entries.size());
   for (int r = 1; r < params_.schedule_repeats; ++r) {
     const sim::Duration lag = params_.repeat_spacing * r;
     burst_handles_.push_back(sim_.at(srp + lag, [this, msg, lag] {
@@ -623,186 +634,14 @@ void TransparentProxy::schedule_tick() {
   }
 
   for (const ScheduleEntry& entry : msg->entries) {
+    burst_handles_.push_back(sim_.at(
+        srp + entry.rp_offset,
+        [this, entry] { BurstSession{*this, entry}.open(); }));
     burst_handles_.push_back(
-        sim_.at(srp + entry.rp_offset, [this, entry] { open_burst(entry); }));
-    burst_handles_.push_back(sim_.at(srp + entry.rp_offset + entry.duration,
-                                     [this, entry] { close_burst(entry); }));
+        sim_.at(srp + entry.rp_offset + entry.duration,
+                [this, entry] { BurstSession{*this, entry}.close(); }));
   }
   tick_handle_ = sim_.at(srp + built.interval, [this] { schedule_tick(); });
-}
-
-void TransparentProxy::open_burst(const ScheduleEntry& entry) {
-  // The demand set can shrink mid-interval: a client that departed between
-  // the SRP and its slot must not have state re-created for a burst nobody
-  // is listening to.  Its slot simply goes unused (non-overlap holds).
-  auto cit = clients_.find(entry.client);
-  if (cit == clients_.end() ||
-      cit->second->membership == Membership::Departed) {
-    ++stats_.bursts_skipped;
-    return;
-  }
-  ClientState& cs = *cit->second;
-  ++stats_.bursts_opened;
-  sim::Duration budget = entry.duration - params_.slots.burst_guard;
-  if (budget < sim::Time::zero()) budget = sim::Time::zero();
-  double budget_s = budget.to_seconds();
-  double spent_s = 0;
-
-  // Phase 1: buffered raw packets (UDP, or everything in
-  // BufferedPassthrough mode), paced by the send-cost model.
-  std::vector<net::Packet> raw;
-  if (entry.kind != SlotKind::TcpOnly) {
-    while (!cs.pkt_q.empty()) {
-      const double cost =
-          estimator_.packet_cost(cs.pkt_q.front().payload).to_seconds();
-      if (spent_s + cost > budget_s) break;
-      spent_s += cost;
-      raw.push_back(std::move(cs.pkt_q.front()));
-      cs.pkt_q.pop_front();
-      cs.pkt_q_bytes -= raw.back().payload;
-      total_q_bytes_ -= raw.back().payload;
-      ++stats_.burst_packets;
-    }
-    PP_OBS(if (twg_queue_depth_ && !raw.empty())
-               twg_queue_depth_->set(sim_.now(),
-                                     static_cast<double>(total_q_bytes_)));
-  }
-
-  // Phase 2: plan the TCP allowance for the remaining slot time.
-  struct Plan {
-    Splice* splice;
-    std::uint64_t chunk;
-    std::uint64_t pre_unsent;
-  };
-  std::vector<Plan> plans;
-  bool any_tcp = false;
-  if (entry.kind != SlotKind::UdpOnly &&
-      params_.mode == ProxyMode::Splice) {
-    const sim::Duration remaining = sim::Time::seconds(budget_s - spent_s);
-    std::uint64_t allowance = estimator_.payload_budget(
-        remaining, params_.slots.mtu, params_.slots.tcp_ack_bytes);
-    for (Splice* s : cs.splices) {
-      const std::uint64_t pre = s->client_side->bytes_unsent();
-      const std::uint64_t pre_use = std::min(allowance, pre);
-      allowance -= pre_use;
-      const std::uint64_t chunk = std::min(allowance, s->buffered);
-      allowance -= chunk;
-      plans.push_back({s, chunk, pre});
-      if (chunk > 0 || pre > 0) any_tcp = true;
-    }
-    // Guaranteed progress: a scheduled burst always moves at least one
-    // segment of buffered data, even if rounding left no allowance (the
-    // burst guard absorbs the overrun).
-    if (!any_tcp) {
-      for (auto& p : plans) {
-        if (p.splice->buffered > 0) {
-          p.chunk = std::min<std::uint64_t>(p.splice->buffered,
-                                            params_.slots.mtu);
-          any_tcp = true;
-          break;
-        }
-      }
-    }
-  }
-
-  // Burst termination (Section 3.2.2): the very last packet of the burst
-  // carries the mark.  TCP data is sent after raw packets, so if any TCP
-  // bytes will flow, arm the last active splice's marker; otherwise mark
-  // the final raw packet; otherwise synthesize a tiny marked control
-  // packet so the client can sleep (dynamic schedules only).
-  Splice* marking = nullptr;
-  bool need_empty_marker = false;
-  if (any_tcp) {
-    for (auto& p : plans)
-      if (p.chunk > 0 || p.pre_unsent > 0) marking = p.splice;
-  } else if (!raw.empty()) {
-    raw.back().marked = true;
-  } else if (entry.kind == SlotKind::Any) {
-    need_empty_marker = true;  // sent after the gates open, see below
-  }
-
-  std::uint64_t burst_bytes = 0;
-  for (net::Packet& p : raw) {
-    stats_.udp_bytes_burst += p.payload;
-    burst_bytes += p.payload;
-    wireless_tx_(std::move(p));
-  }
-
-  // Write planned bytes into the client-side sockets (gates still closed,
-  // so nothing leaves yet), arming the marker before the final write.
-  for (auto& p : plans) {
-    if (p.splice == marking) {
-      // If this burst drains the stream and the server has finished, the
-      // connection closes right after: put the mark on the FIN itself.
-      const bool closes_now =
-          (p.splice->server_fin && p.splice->buffered == p.chunk &&
-           !p.splice->client_side->fin_unacked()) ||
-          p.splice->client_side->close_pending();
-      if (closes_now) {
-        p.splice->marker.arm_after_with_fin(p.chunk);
-      } else {
-        p.splice->marker.arm_after(p.chunk);
-      }
-    }
-    if (p.chunk > 0) {
-      p.splice->server_side->consume(p.chunk);
-      p.splice->buffered -= p.chunk;
-      p.splice->marker.bytes_written(p.chunk);
-      p.splice->client_side->send(p.chunk);
-      stats_.tcp_bytes_burst += p.chunk;
-      burst_bytes += p.chunk;
-    }
-    maybe_finish_splice(*p.splice);
-  }
-  // Open the gates: pre-unsent and new bytes flow, cwnd permitting.
-  for (auto& p : plans) p.splice->client_side->set_send_gate(true);
-
-  // The empty-burst marker goes out last so that control segments flushed
-  // by the gate opening (FINs, deferred retransmissions) reach the client
-  // before it sleeps on the mark.
-  if (need_empty_marker) send_empty_burst_marker(entry.client);
-
-  if (cs.membership == Membership::Draining && burst_bytes > 0) {
-    stats_.churn_drained_bytes += burst_bytes;
-    PP_OBS(if (auto* c = churn_counter(ctr_churn_drained_,
-                                       "proxy.churn.drained_bytes"))
-               c->inc(burst_bytes));
-  }
-
-  PP_OBS(if (hist_burst_bytes_) hist_burst_bytes_->observe(burst_bytes);
-         if (auto* tl = obs_.timeline())
-             tl->span(sim_.now(), entry.duration, obs::EventKind::Burst,
-                      entry.client.raw(), burst_bytes));
-
-  // A graceful leaver whose last queued byte just went out departs now
-  // rather than waiting for the drain deadline.  (May destroy this burst's
-  // splices — nothing below touches them.)
-  maybe_finish_drain(cs);
-}
-
-void TransparentProxy::close_burst(const ScheduleEntry& entry) {
-  if (entry.kind == SlotKind::UdpOnly) return;
-  auto it = clients_.find(entry.client);
-  if (it == clients_.end()) return;
-  for (Splice* s : it->second->splices) s->client_side->set_send_gate(false);
-}
-
-void TransparentProxy::send_empty_burst_marker(net::Ipv4Addr client) {
-  net::Packet pkt = net::make_packet();
-  pkt.src = params_.proxy_ip;
-  pkt.src_port = kSchedulePort;
-  pkt.dst = client;
-  pkt.dst_port = kSchedulePort;
-  pkt.proto = net::Protocol::Udp;
-  pkt.payload = 16;
-  pkt.marked = true;
-  pkt.sent_at = sim_.now();
-  ++stats_.empty_burst_markers;
-  PP_OBS(if (ctr_empty_markers_) ctr_empty_markers_->inc();
-         if (auto* tl = obs_.timeline())
-             tl->record(sim_.now(), obs::EventKind::EmptyBurstMarker,
-                        client.raw()));
-  wireless_tx_(std::move(pkt));
 }
 
 }  // namespace pp::proxy

@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "net/chunk.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/wireless.hpp"
@@ -37,6 +37,8 @@
 #include "transport/tcp.hpp"
 
 namespace pp::proxy {
+
+class BurstSession;
 
 enum class ProxyMode : std::uint8_t {
   // Full system: spliced TCP + buffered UDP + burst scheduling.
@@ -127,6 +129,13 @@ class TransparentProxy {
   void set_wireless_tx(std::function<void(net::Packet)> tx) {
     wireless_tx_ = std::move(tx);
   }
+  // Batched emission: a burst's raw-datagram chain leaves as one ChunkQueue
+  // (one link/medium reservation per slot).  Optional — when unset, bursts
+  // unbundle onto wireless_tx_.  Control traffic (schedule broadcasts,
+  // spliced TCP segments, markers, acks) always uses wireless_tx_.
+  void set_wireless_burst_tx(std::function<void(net::ChunkQueue)> tx) {
+    wireless_burst_tx_ = std::move(tx);
+  }
 
   // Fit the send-cost model from the medium (the microbenchmark of
   // Section 3.2.2).  Must be called before start().
@@ -195,6 +204,13 @@ class TransparentProxy {
     bool client_close_requested = false;
   };
 
+  // One splice's TCP allowance within a burst (BurstSession scratch).
+  struct BurstPlan {
+    Splice* splice;
+    std::uint64_t chunk;
+    std::uint64_t pre_unsent;
+  };
+
   // Association lifecycle as the proxy sees it.  Departed entries are kept
   // in the map (zero queued bytes, no splices) so sustained churn reuses
   // the same slots instead of growing the heap.
@@ -202,8 +218,7 @@ class TransparentProxy {
 
   struct ClientState {
     net::Ipv4Addr ip;
-    std::deque<net::Packet> pkt_q;  // buffered raw downlink packets
-    std::uint64_t pkt_q_bytes = 0;
+    net::ChunkQueue pkt_q;  // buffered raw downlink datagrams (payload bytes)
     std::vector<Splice*> splices;
     sim::Time last_activity;
     Membership membership = Membership::Joined;
@@ -252,9 +267,10 @@ class TransparentProxy {
   // pinned legacy fingerprints.
   obs::Counter* churn_counter(obs::Counter*& slot, const char* name);
   void schedule_tick();
-  void open_burst(const ScheduleEntry& entry);
-  void close_burst(const ScheduleEntry& entry);
-  void send_empty_burst_marker(net::Ipv4Addr client);
+
+  // Burst emission lives in BurstSession (proxy/burst.hpp): one session
+  // per scheduled slot owns the open -> emit -> close lifecycle.
+  friend class BurstSession;
 
   sim::Simulator& sim_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -265,6 +281,11 @@ class TransparentProxy {
   Sink wireless_sink_;
   std::function<void(net::Packet)> wired_tx_;
   std::function<void(net::Packet)> wireless_tx_;
+  std::function<void(net::ChunkQueue)> wireless_burst_tx_;
+  // Backing store for every per-client queue and burst chain.  shared_ptr:
+  // chains captured in pending events may outlive the proxy at teardown.
+  std::shared_ptr<net::ChunkPool> chunk_pool_ =
+      std::make_shared<net::ChunkPool>();
 
   std::unordered_map<net::Ipv4Addr, std::unique_ptr<ClientState>,
                      net::Ipv4AddrHash>
@@ -289,7 +310,12 @@ class TransparentProxy {
   obs::Histogram* hist_burst_bytes_ = nullptr;
   obs::Histogram* hist_interval_us_ = nullptr;
   obs::TimeWeightedGauge* twg_queue_depth_ = nullptr;
-  std::uint64_t total_q_bytes_ = 0;  // sum of all clients' pkt_q_bytes
+  std::uint64_t total_q_bytes_ = 0;  // sum of all clients' pkt_q.bytes()
+
+  // SRP-tick scratch, reused every interval so the steady-state schedule
+  // loop stays off the heap.
+  std::vector<ClientDemand> demands_scratch_;
+  std::vector<BurstPlan> plan_scratch_;
 
   bool running_ = false;
   bool paused_ = false;

@@ -6,6 +6,7 @@
 // death tests: the handler mechanism keeps everything in-process.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,8 @@
 #include "check/check.hpp"
 #include "check/sorted.hpp"
 #include "energy/wnic.hpp"
+#include "net/chunk.hpp"
+#include "net/packet.hpp"
 #include "obs/timeline.hpp"
 #include "sim/simulator.hpp"
 #include "transport/tcp.hpp"
@@ -194,6 +197,59 @@ TEST_F(CheckFixture, TcpDoubleConnectTrips) {
       {},  /*passive=*/false};
   conn.connect();
   EXPECT_THROW(conn.connect(), CheckError);
+}
+
+// -- Chunk queues ----------------------------------------------------------------
+
+TEST_F(CheckFixture, ChunkQueueMisuseTrips) {
+  auto pool = std::make_shared<net::ChunkPool>();
+  net::ChunkQueue q{pool};
+  EXPECT_THROW((void)q.pop_packet(), CheckError);  // net.chunk.pop_empty
+  EXPECT_THROW(q.mark_tail(), CheckError);         // net.chunk.mark_empty
+
+  net::ChunkQueue no_pool;
+  EXPECT_THROW(no_pool.push(net::make_packet()), CheckError);
+
+  q.push(net::make_packet());
+  net::ChunkQueue other{std::make_shared<net::ChunkPool>()};
+  EXPECT_THROW(q.pop_front_to(other), CheckError);  // net.chunk.pool_mismatch
+
+  // split_front bounds: 0 and >= length are both out of range.
+  net::Packet pkt = net::make_packet();
+  pkt.payload = 100;
+  net::ChunkQueue s{pool};
+  s.push(std::move(pkt));
+  EXPECT_THROW(s.split_front(0), CheckError);    // net.chunk.split_range
+  EXPECT_THROW(s.split_front(100), CheckError);  // net.chunk.split_range
+}
+
+// Chunk-granularity conservation: however a datagram is split and handed
+// between queues, audit() holds at every step and the view lengths always
+// re-assemble to the original payload.
+TEST_F(CheckFixture, ChunkConservationAcrossSplitsAndHandoffs) {
+  auto pool = std::make_shared<net::ChunkPool>();
+  net::ChunkQueue q{pool};
+  net::Packet pkt = net::make_packet();
+  pkt.payload = 900;
+  q.push(std::move(pkt));
+  q.split_front(300);  // 300 | 600
+  q.audit();
+  net::ChunkQueue burst{pool};
+  q.pop_front_to(burst);
+  q.split_front(200);  // queue: 200 | 400, burst: 300
+  q.audit();
+  burst.audit();
+  q.move_all_to(burst);
+  EXPECT_TRUE(q.empty());
+  q.audit();
+  burst.audit();
+  EXPECT_EQ(burst.packets(), 3u);
+  EXPECT_EQ(burst.bytes(), 900u);  // nothing lost, nothing invented
+  std::uint64_t reassembled = 0;
+  burst.for_each([&reassembled](const net::Chunk& c) {
+    reassembled += c.length;
+  });
+  EXPECT_EQ(reassembled, 900u);
 }
 
 // -- sorted_items / sorted_keys --------------------------------------------------
