@@ -24,6 +24,21 @@ struct DelayCompensation {
   // The early transition amount: how much before the expected arrival the
   // WNIC is woken.  6 ms is the paper's best value for 100 ms intervals.
   sim::Duration early = sim::Time::ms(6);
+  // Worst-case arrival shift between two consecutive schedule broadcasts.
+  // The adaptive anchor carries the previous broadcast's path delay: if that
+  // broadcast was jittered by j_prev and the next by j_next, the next
+  // arrival lands j_next - j_prev relative to the anchor, so a client can
+  // desync whenever j_prev - j_next exceeds the early amount.  Deployments
+  // set this to the configured AP jitter bound (jitter_max + spike_max) and
+  // the guard below widens the early transition to cover it.  Zero (the
+  // default) preserves the paper's fixed early amount.
+  sim::Duration jitter_bound = sim::Time::zero();
+
+  // The early amount actually applied: never less than the jitter bound,
+  // so a maximally-jittered anchor still wakes the client in time.
+  sim::Duration effective_early() const {
+    return early < jitter_bound ? jitter_bound : early;
+  }
 
   // When to wake for an event nominally `offset` after the schedule.
   // `arrival` is when the schedule reached the client; `srp_stamp` is the
@@ -32,9 +47,9 @@ struct DelayCompensation {
                       sim::Duration offset) const {
     switch (mode) {
       case CompensationMode::Adaptive:
-        return arrival + offset - early;
+        return arrival + offset - effective_early();
       case CompensationMode::ProxyClock:
-        return srp_stamp + offset - early;
+        return srp_stamp + offset - effective_early();
       case CompensationMode::None:
         return arrival + offset;
     }

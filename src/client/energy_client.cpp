@@ -14,7 +14,11 @@ EnergyAwareClient::EnergyAwareClient(sim::Simulator& sim,
     : sim_{sim},
       node_{sim, ip, std::move(name)},
       params_{params},
-      acc_{params.power, sim.now(), energy::WnicMode::Idle},
+      acc_{params.ledger != nullptr
+               ? energy::EnergyAccountant{*params.ledger, sim.now(),
+                                          energy::WnicMode::Idle}
+               : energy::EnergyAccountant{params.power, sim.now(),
+                                          energy::WnicMode::Idle}},
       daemon_{sim, ip, params.daemon,
               [this](bool awake) {
                 acc_.set_mode(sim_.now(), awake ? energy::WnicMode::Idle

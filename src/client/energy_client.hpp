@@ -24,6 +24,10 @@ namespace pp::client {
 struct ClientParams {
   DaemonConfig daemon{};
   energy::WnicPowerModel power{};
+  // When set, the client's energy row lives in this shared fleet ledger
+  // (flat SoA — see energy::EnergyLedger) and `power` is ignored; the
+  // ledger's model applies.  Null keeps a private single-row ledger.
+  energy::EnergyLedger* ledger = nullptr;
   bool naive = false;  // never sleep (the comparison baseline)
   // Dynamic membership (client churn).  When enabled the client carries an
   // AssociationAgent; set_away() drives leave/rejoin handshakes with the

@@ -4,58 +4,83 @@
 
 namespace pp::energy {
 
-void EnergyAccountant::settle(sim::Time now) {
-  PP_CHECK_AT(now >= last_change_, "energy.accountant.settle", now);
-  in_mode_[static_cast<std::size_t>(mode_)] += now - last_change_;
-  last_change_ = now;
+std::uint32_t EnergyLedger::add_row(sim::Time start, WnicMode initial) {
+  const std::uint32_t row = static_cast<std::uint32_t>(mode_.size());
+  start_.push_back(start);
+  last_change_.push_back(start);
+  mode_.push_back(initial);
+  in_mode_.emplace_back();
+  transient_mj_.emplace_back();
+  wake_transitions_.push_back(0);
+  return row;
 }
 
-void EnergyAccountant::audit(sim::Time now, const char* component) const {
+void EnergyLedger::reserve(std::size_t n) {
+  start_.reserve(n);
+  last_change_.reserve(n);
+  mode_.reserve(n);
+  in_mode_.reserve(n);
+  transient_mj_.reserve(n);
+  wake_transitions_.reserve(n);
+}
+
+void EnergyLedger::settle(std::uint32_t row, sim::Time now) {
+  PP_CHECK_AT(now >= last_change_[row], "energy.accountant.settle", now);
+  in_mode_[row][static_cast<std::size_t>(mode_[row])] +=
+      now - last_change_[row];
+  last_change_[row] = now;
+}
+
+void EnergyLedger::audit(std::uint32_t row, sim::Time now,
+                         const char* component) const {
   // Energy conservation: every nanosecond between construction and `now`
   // is attributed to exactly one mode.  Requires finish(now) first so the
   // open residency interval is settled.
   // Auditing at a time before the last settled transition would make the
   // open-interval term below negative and could mask missing residency.
-  PP_CHECK_AT(now >= last_change_, component, now);
+  PP_CHECK_AT(now >= last_change_[row], component, now);
   sim::Duration total = sim::Time::zero();
-  for (const sim::Duration& d : in_mode_) {
+  for (const sim::Duration& d : in_mode_[row]) {
     PP_CHECK_AT(d >= sim::Time::zero(), component, now);
     total += d;
   }
-  PP_CHECK_AT(total + (now - last_change_) == now - start_, component, now);
+  PP_CHECK_AT(total + (now - last_change_[row]) == now - start_[row],
+              component, now);
 }
 
-void EnergyAccountant::set_mode(sim::Time now, WnicMode m) {
-  if (m == mode_) return;
-  settle(now);
-  if (mode_ == WnicMode::Sleep && m != WnicMode::Sleep) ++wake_transitions_;
-  mode_ = m;
+void EnergyLedger::set_mode(std::uint32_t row, sim::Time now, WnicMode m) {
+  if (m == mode_[row]) return;
+  settle(row, now);
+  if (mode_[row] == WnicMode::Sleep && m != WnicMode::Sleep)
+    ++wake_transitions_[row];
+  mode_[row] = m;
 }
 
-void EnergyAccountant::add_transient(WnicMode m, sim::Duration dur) {
-  const double base = model_.mw(mode_);
+void EnergyLedger::add_transient(std::uint32_t row, WnicMode m,
+                                 sim::Duration dur) {
+  const double base = model_.mw(mode_[row]);
   const double actual = model_.mw(m);
   // Charge the difference: the base-mode time accrues normally via settle().
-  transient_mj_[static_cast<std::size_t>(m)] +=
+  transient_mj_[row][static_cast<std::size_t>(m)] +=
       (actual - base) * dur.to_seconds();
 }
 
-double EnergyAccountant::energy_mj(sim::Time now) const {
+double EnergyLedger::energy_mj(std::uint32_t row, sim::Time now) const {
   double mj = 0;
   for (std::size_t i = 0; i < kNumModes; ++i) {
-    sim::Duration d = in_mode_[i];
-    if (i == static_cast<std::size_t>(mode_)) d += now - last_change_;
+    sim::Duration d = in_mode_[row][i];
+    if (i == static_cast<std::size_t>(mode_[row])) d += now - last_change_[row];
     mj += model_.milliwatts[i] * d.to_seconds();
-    mj += transient_mj_[i];
+    mj += transient_mj_[row][i];
   }
-  mj += wake_penalty_mj();
+  mj += wake_penalty_mj(row);
   return mj;
 }
 
-sim::Duration EnergyAccountant::high_power_time() const {
+sim::Duration EnergyLedger::high_power_time(std::uint32_t row) const {
   sim::Duration d = sim::Time::zero();
   for (std::size_t i = 0; i < kNumModes; ++i) {
-    if (i != static_cast<std::size_t>(WnicMode::Sleep)) d += in_mode_[i];
+    if (i != static_cast<std::size_t>(WnicMode::Sleep)) d += in_mode_[row][i];
   }
   return d;
 }

@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -42,57 +44,135 @@ struct WnicPowerModel {
   static WnicPowerModel wavelan() { return {}; }
 };
 
-// Integrates energy over a WNIC mode timeline.  Call set_mode() at each
+// Flat column storage for a fleet of WNIC energy timelines.  One ledger
+// holds every client of a testbed: the hot per-transition fields
+// (last_change, mode) live in dense vectors indexed by row, so a 100k-client
+// run touches contiguous memory instead of 100k heap-scattered accountants.
+// All rows share one power model — a fleet is homogeneous by construction.
+//
+// Rows are handed out by add_row() and never reclaimed; the ledger is
+// append-only for the lifetime of a run, so row indices stay stable and a
+// reserve() up front makes registration allocation-free.
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(WnicPowerModel model = WnicPowerModel{})
+      : model_{model} {}
+
+  std::uint32_t add_row(sim::Time start, WnicMode initial);
+  void reserve(std::size_t n);
+  std::size_t size() const { return mode_.size(); }
+
+  const WnicPowerModel& model() const { return model_; }
+
+  WnicMode mode(std::uint32_t row) const { return mode_[row]; }
+  void set_mode(std::uint32_t row, sim::Time now, WnicMode m);
+  void add_transient(std::uint32_t row, WnicMode m, sim::Duration dur);
+  void finish(std::uint32_t row, sim::Time now) { settle(row, now); }
+
+  double energy_mj(std::uint32_t row, sim::Time now) const;
+  sim::Duration time_in(std::uint32_t row, WnicMode m) const {
+    return in_mode_[row][static_cast<std::size_t>(m)];
+  }
+  sim::Duration high_power_time(std::uint32_t row) const;
+  std::uint64_t wake_transitions(std::uint32_t row) const {
+    return wake_transitions_[row];
+  }
+  double wake_penalty_mj(std::uint32_t row) const {
+    return static_cast<double>(wake_transitions_[row]) *
+           model_.wake_energy_mj();
+  }
+
+  void audit(std::uint32_t row, sim::Time now, const char* component) const;
+
+ private:
+  void settle(std::uint32_t row, sim::Time now);
+
+  WnicPowerModel model_;
+  // Column vectors, all indexed by row.  The per-transition hot path reads
+  // and writes only last_change_/mode_/in_mode_.
+  std::vector<sim::Time> start_;
+  std::vector<sim::Time> last_change_;
+  std::vector<WnicMode> mode_;
+  std::vector<std::array<sim::Duration, kNumModes>> in_mode_;
+  std::vector<std::array<double, kNumModes>> transient_mj_;
+  std::vector<std::uint64_t> wake_transitions_;
+};
+
+// Integrates energy over one WNIC mode timeline.  Call set_mode() at each
 // transition; totals are exact (piecewise-constant integration).
+//
+// This is a row handle into an EnergyLedger.  Two construction modes:
+//   * ledger-backed: the row lives in a shared fleet ledger (Testbed owns
+//     one per run) — flat SoA state, cheap to scale;
+//   * standalone: the legacy (model, start) ctor keeps working for tools
+//     and tests by owning a private single-row ledger.
 class EnergyAccountant {
  public:
   explicit EnergyAccountant(WnicPowerModel model, sim::Time start,
                             WnicMode initial = WnicMode::Idle)
-      : model_{model}, start_{start}, last_change_{start}, mode_{initial} {}
+      : owned_{std::make_unique<EnergyLedger>(model)},
+        ledger_{owned_.get()},
+        row_{ledger_->add_row(start, initial)} {}
 
-  WnicMode mode() const { return mode_; }
+  EnergyAccountant(EnergyLedger& ledger, sim::Time start,
+                   WnicMode initial = WnicMode::Idle)
+      : ledger_{&ledger}, row_{ledger.add_row(start, initial)} {}
+
+  EnergyAccountant(const EnergyAccountant&) = delete;
+  EnergyAccountant& operator=(const EnergyAccountant&) = delete;
+  // Moving a standalone accountant must re-point the handle at the ledger
+  // that moved with it.
+  EnergyAccountant(EnergyAccountant&& o) noexcept
+      : owned_{std::move(o.owned_)},
+        ledger_{owned_ ? owned_.get() : o.ledger_},
+        row_{o.row_} {}
+  EnergyAccountant& operator=(EnergyAccountant&&) = delete;
+
+  WnicMode mode() const { return ledger_->mode(row_); }
 
   // Transition to a new mode at `now`.  A sleep->high transition charges
   // the wake penalty.  Transitions to the current mode are no-ops.
-  void set_mode(sim::Time now, WnicMode m);
+  void set_mode(sim::Time now, WnicMode m) { ledger_->set_mode(row_, now, m); }
 
   // Account `dur` of a transient mode (receive/transmit) inside the current
   // mode without changing it — used for per-frame airtime while idle.
-  void add_transient(WnicMode m, sim::Duration dur);
+  void add_transient(WnicMode m, sim::Duration dur) {
+    ledger_->add_transient(row_, m, dur);
+  }
 
   // Settle the current mode's residency up to `now` (call before reading
   // time_in()/high_power_time() mid-run or at the end of a run).
-  void finish(sim::Time now) { settle(now); }
+  void finish(sim::Time now) { ledger_->finish(row_, now); }
 
   // -- Results ---------------------------------------------------------------
-  double energy_mj(sim::Time now) const;
+  double energy_mj(sim::Time now) const {
+    return ledger_->energy_mj(row_, now);
+  }
   sim::Duration time_in(WnicMode m) const {
-    return in_mode_[static_cast<std::size_t>(m)];
+    return ledger_->time_in(row_, m);
   }
   // Total time in any high-power mode (everything but sleep).
-  sim::Duration high_power_time() const;
-  std::uint64_t wake_transitions() const { return wake_transitions_; }
-  double wake_penalty_mj() const {
-    return static_cast<double>(wake_transitions_) * model_.wake_energy_mj();
+  sim::Duration high_power_time() const {
+    return ledger_->high_power_time(row_);
   }
+  std::uint64_t wake_transitions() const {
+    return ledger_->wake_transitions(row_);
+  }
+  double wake_penalty_mj() const { return ledger_->wake_penalty_mj(row_); }
 
-  const WnicPowerModel& model() const { return model_; }
+  const WnicPowerModel& model() const { return ledger_->model(); }
 
   // Invariant audit (see src/check/): mode residencies partition the
   // whole [start, now) interval — Σ time_in(mode) == now - start.
   // `component` names the owning client in the violation report.
-  void audit(sim::Time now, const char* component) const;
+  void audit(sim::Time now, const char* component) const {
+    ledger_->audit(row_, now, component);
+  }
 
  private:
-  void settle(sim::Time now);
-
-  WnicPowerModel model_;
-  sim::Time start_;
-  sim::Time last_change_;
-  WnicMode mode_;
-  std::array<sim::Duration, kNumModes> in_mode_{};
-  std::array<double, kNumModes> transient_mj_{};
-  std::uint64_t wake_transitions_ = 0;
+  std::unique_ptr<EnergyLedger> owned_;  // standalone mode only
+  EnergyLedger* ledger_;
+  std::uint32_t row_;
 };
 
 // The paper's closed-form optimal energy saving (Section 4.3):

@@ -22,16 +22,19 @@ ScenarioBuilder& ScenarioBuilder::roles(std::vector<int> rs) {
 }
 
 ScenarioBuilder& ScenarioBuilder::video(int count, int fidelity) {
+  cfg_.roles.reserve(cfg_.roles.size() + static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) cfg_.roles.push_back(fidelity);
   return *this;
 }
 
 ScenarioBuilder& ScenarioBuilder::web(int count) {
+  cfg_.roles.reserve(cfg_.roles.size() + static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) cfg_.roles.push_back(kRoleWeb);
   return *this;
 }
 
 ScenarioBuilder& ScenarioBuilder::ftp(int count) {
+  cfg_.roles.reserve(cfg_.roles.size() + static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) cfg_.roles.push_back(kRoleFtp);
   return *this;
 }
@@ -79,6 +82,11 @@ ScenarioBuilder& ScenarioBuilder::miss_escalation(bool on) {
 
 ScenarioBuilder& ScenarioBuilder::measured_goodput(bool on) {
   cfg_.measured_goodput = on;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::jitter_guard(bool on) {
+  cfg_.jitter_guard = on;
   return *this;
 }
 
@@ -194,6 +202,8 @@ ScenarioConfig ScenarioBuilder::build() const {
       any_video = true;
     } else if (r == kRoleWeb || r == kRoleFtp) {
       any_tcp = true;
+    } else if (r == kRoleIdle) {
+      // Neither video nor TCP: idle clients carry no workload of their own.
     } else {
       fail("unknown role " + std::to_string(r));
     }
@@ -298,8 +308,10 @@ ScenarioConfig ScenarioBuilder::build() const {
       fail("churn storm max periods must be >= their minimums");
     }
   }
-  if (c.measured_goodput && c.policy != IntervalPolicy::Opportunistic500) {
-    fail("measured_goodput is only meaningful under Opportunistic500");
+  if (c.measured_goodput && (c.policy == IntervalPolicy::StaticEqual100 ||
+                             c.policy == IntervalPolicy::SlottedStatic500)) {
+    fail("measured_goodput needs a demand-driven policy (static schedules "
+         "ignore per-client slot costs)");
   }
   return cfg_;
 }
@@ -329,7 +341,10 @@ ScenarioBuilder ScenarioBuilder::fig6() {
       .seed(19)
       .duration_s(140.0)
       .keep_trace()
-      .ap_jitter(0.08, sim::Time::ms(8));
+      .ap_jitter(0.08, sim::Time::ms(8))
+      // The whole point of fig6 is the raw early-transition trade-off:
+      // auto-deriving the guard would flatten the curve it plots.
+      .jitter_guard(false);
 }
 
 ScenarioBuilder ScenarioBuilder::fig7(int fidelity, double tcp_weight) {

@@ -47,8 +47,12 @@ class ScenarioBuilder {
   ScenarioBuilder& schedule_repeats(int k);
   ScenarioBuilder& schedule_repeat_spacing(sim::Duration d);
   ScenarioBuilder& miss_escalation(bool on = true);
-  // Opportunistic500 only: widen slot costs with measured EWMA goodput.
+  // Widen demand-driven slot costs with measured EWMA goodput (any
+  // dynamic policy; static schedules ignore per-client costs).
   ScenarioBuilder& measured_goodput(bool on = true);
+  // Derive the clients' early-wake guard from the AP jitter bound
+  // (default on; fig6 opts out to expose the raw early-transition knob).
+  ScenarioBuilder& jitter_guard(bool on);
 
   // -- Run shape -------------------------------------------------------------------
   ScenarioBuilder& seed(std::uint64_t s);

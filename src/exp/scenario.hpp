@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,11 @@ namespace pp::exp {
 // Client roles.
 inline constexpr int kRoleWeb = -1;
 inline constexpr int kRoleFtp = -2;
+// Idle: associated and power-managed but runs no application of its own —
+// it only receives what others send it (cross-cell backbone traffic in the
+// multi-cell engine).  This is what makes 100k-client fleets tractable:
+// an idle client costs a few schedule events per SRP, not a workload.
+inline constexpr int kRoleIdle = -3;
 // Non-negative role values are video fidelity indices (see
 // workload::kFidelities): 0=56K, 1=128K, 2=256K, 3=512K.
 
@@ -49,6 +55,12 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   sim::Duration early_transition = sim::Time::ms(6);
   client::CompensationMode compensation = client::CompensationMode::Adaptive;
+  // Derive the clients' early-wake guard from the AP's configured jitter
+  // bound (jitter_max + spike_max): an anchor carried by a maximally-spiked
+  // broadcast can shift the next arrival past a fixed early amount and
+  // desync the client.  Opt out (fig6 does) to study the raw
+  // early-transition trade-off the paper plots.
+  bool jitter_guard = true;
   double slotted_tcp_weight = 0.33;  // only for SlottedStatic500
   proxy::ProxyMode proxy_mode = proxy::ProxyMode::Splice;
   double cost_model_scale = 1.0;  // ablation: mis-calibrated send cost
@@ -62,6 +74,12 @@ struct ScenarioConfig {
   double web_think_mean_s = 4.0;
   bool keep_trace = false;  // retain the monitoring-station trace
   bool keep_obs = false;    // retain the metrics registry + timeline
+  // Per-client observability: each client publishes its awake time-gauge
+  // and streams its power transitions into the timeline.  On by default;
+  // scale runs (100k clients) turn it off and keep only the streaming
+  // cell-level counters — per-client results still come from the clients'
+  // own counters, which are always maintained.
+  bool per_client_obs = true;
   // Default per-frame corruption probability on the wireless medium (real
   // 802.11b loses the occasional frame; lost marks and schedules are what
   // produce the paper's worst-case clients).
@@ -138,6 +156,43 @@ struct ScenarioResult {
   // Populated when keep_obs: the full metrics registry (time gauges already
   // finalized at `horizon`) and event timeline from the run.
   std::shared_ptr<obs::Observer> obs;
+};
+
+// A scenario decomposed into build / advance / collect steps.
+//
+// run_scenario() composes all three; the multi-cell engine
+// (exp/multicell.hpp) instead holds one ScenarioRun per cell and steps
+// them in lockstep epochs on worker threads, injecting backbone traffic
+// between advances.  Construction builds the full testbed (servers,
+// workload apps, scheduler) and starts it; advance() drains events up to a
+// time (monotone across calls); finish() settles audits at the configured
+// horizon and collects the ScenarioResult (call once, after the last
+// advance).
+class ScenarioRun {
+ public:
+  // `pre_start` (when given) runs after the testbed and workloads are
+  // built but before bed.start(): the hook point where the multi-cell
+  // engine adds its backbone gateway node to each cell.
+  explicit ScenarioRun(
+      const ScenarioConfig& cfg,
+      // pp-lint: allow(hot-path-alloc): construction-time hook, runs once
+      const std::function<void(Testbed&)>& pre_start = {});
+  ~ScenarioRun();
+  ScenarioRun(const ScenarioRun&) = delete;
+  ScenarioRun& operator=(const ScenarioRun&) = delete;
+
+  Testbed& bed() { return *bed_; }
+  const ScenarioConfig& config() const { return cfg_; }
+  sim::Time horizon() const { return sim::Time::seconds(cfg_.duration_s); }
+
+  void advance(sim::Time t) { bed_->run_until(t); }
+  ScenarioResult finish();
+
+ private:
+  ScenarioConfig cfg_;
+  std::unique_ptr<Testbed> bed_;
+  struct Apps;  // servers + per-client workload applications
+  std::unique_ptr<Apps> apps_;
 };
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg);

@@ -68,6 +68,7 @@ std::string canonical_config(const ScenarioConfig& cfg) {
   put_f(out, "web_think_mean_s", cfg.web_think_mean_s);
   put_b(out, "keep_trace", cfg.keep_trace);
   put_b(out, "keep_obs", cfg.keep_obs);
+  put_b(out, "per_client_obs", cfg.per_client_obs);
   put_f(out, "wireless_p_loss", cfg.wireless_p_loss);
   put_b(out, "wireless_override", cfg.wireless.has_value());
   if (cfg.wireless) {
@@ -115,6 +116,7 @@ std::string canonical_config(const ScenarioConfig& cfg) {
     put_i64(out, "fault.storm.max_home_ns", s.max_home.count_ns());
   }
   put_b(out, "measured_goodput", cfg.measured_goodput);
+  put_b(out, "jitter_guard", cfg.jitter_guard);
   put_i64(out, "schedule_repeats", cfg.schedule_repeats);
   put_i64(out, "schedule_repeat_spacing_ns",
           cfg.schedule_repeat_spacing.count_ns());
@@ -144,9 +146,47 @@ static_assert(sizeof(ScenarioConfig) == 464,
               "kCodeVersionSalt");
 #endif
 
+std::string canonical_multicell_config(const MultiCellConfig& cfg) {
+  std::string out;
+  out.reserve(1536);
+  out += "ppsweep-multicell v1\n";
+  put_i64(out, "num_cells", cfg.num_cells);
+  put_i64(out, "backbone_latency_ns", cfg.backbone_latency.count_ns());
+  put_b(out, "cross.enabled", cfg.cross.enabled);
+  if (cfg.cross.enabled) {
+    put_i64(out, "cross.period_ns", cfg.cross.period.count_ns());
+    put_u64(out, "cross.bytes", cfg.cross.bytes);
+    put_i64(out, "cross.fanout", cfg.cross.fanout);
+    put_f(out, "cross.start_s", cfg.cross.start_s);
+  }
+  // Embedded per-cell rendering: every scenario-level axis (client count
+  // via roles, policy, seed, ...) flows into the fleet key unchanged.
+  out += "cell{\n";
+  out += canonical_config(cfg.cell);
+  out += "}cell\n";
+  return out;
+}
+
+// Same reference-toolchain guard as ScenarioConfig above: fires when
+// MultiCellConfig grows, reminding you to extend
+// canonical_multicell_config() and bump kCodeVersionSalt.
+#if defined(__GLIBCXX__) && defined(__x86_64__)
+static_assert(sizeof(MultiCellConfig) == 512,
+              "MultiCellConfig changed: update canonical_multicell_config() "
+              "and bump kCodeVersionSalt");
+#endif
+
 std::uint64_t config_key(const ScenarioConfig& cfg, std::uint64_t salt) {
   std::uint64_t h = fnv1a_u64(kFnvOffset, salt);
   for (const char c : canonical_config(cfg)) {
+    h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
+  }
+  return h;
+}
+
+std::uint64_t multicell_key(const MultiCellConfig& cfg, std::uint64_t salt) {
+  std::uint64_t h = fnv1a_u64(kFnvOffset, salt ^ 0x6d63656c6cULL);  // "mcell"
+  for (const char c : canonical_multicell_config(cfg)) {
     h = fnv1a_byte(h, static_cast<std::uint8_t>(c));
   }
   return h;

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "exp/digest.hpp"
+#include "exp/multicell.hpp"
 #include "exp/scenario.hpp"
 
 namespace pp::exp::sweep {
@@ -41,14 +42,28 @@ namespace pp::exp::sweep {
 // 0005: chunk-queue data path — batched burst emission changes delivery
 // timing (one AP delay draw per burst, frames land inside one reservation)
 // and RNG draw order; replay digests re-pinned.
-inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0005ULL;
+// 0006: multi-cell scale-out — jitter-derived early-wake guard shifts every
+// adaptive-compensation run (new canonical_config field jitter_guard);
+// measured_goodput composes with all demand-driven policies; replay
+// digests re-pinned.
+inline constexpr std::uint64_t kCodeVersionSalt = 0x7070'5357'0006ULL;
 
 // Deterministic text rendering of every config field ("k=v\n" lines).
 std::string canonical_config(const ScenarioConfig& cfg);
 
+// Multi-cell fleets are pure functions of their MultiCellConfig the same
+// way a scenario is of its ScenarioConfig (worker count provably does not
+// matter — see tests/multicell_test.cpp), so cell count, backbone latency,
+// and the cross-traffic shape are first-class sweep axes.  The canonical
+// text embeds the per-cell scenario rendering, so any cell-level change
+// propagates into the fleet key automatically.
+std::string canonical_multicell_config(const MultiCellConfig& cfg);
+
 // FNV-1a over salt + canonical text.
 std::uint64_t config_key(const ScenarioConfig& cfg,
                          std::uint64_t salt = kCodeVersionSalt);
+std::uint64_t multicell_key(const MultiCellConfig& cfg,
+                            std::uint64_t salt = kCodeVersionSalt);
 
 // Fixed-width lowercase hex, the cache's file-name form.
 std::string key_hex(std::uint64_t key);

@@ -73,6 +73,7 @@ SweepResult run(const std::vector<Item>& items, const Options& opts) {
     bool cacheable;
   };
   std::vector<Pending> pending;
+  pending.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     Outcome& oc = out.outcomes[i];
     oc.label = items[i].label;

@@ -7,7 +7,12 @@
 namespace pp::exp {
 
 net::Ipv4Addr testbed_client_ip(int i) {
-  return net::Ipv4Addr::octets(172, 16, 0, static_cast<std::uint8_t>(i + 1));
+  // 16-bit client index spread over the third and fourth octets: clients
+  // 0..254 keep their historical 172.16.0.<i+1> addresses; larger fleets
+  // spill into 172.16.1.x and beyond (65534 clients max per testbed).
+  const std::uint32_t n = static_cast<std::uint32_t>(i) + 1;
+  return net::Ipv4Addr::octets(172, 16, static_cast<std::uint8_t>(n >> 8),
+                               static_cast<std::uint8_t>(n & 0xff));
 }
 
 Testbed::Testbed(TestbedParams params,
@@ -112,7 +117,11 @@ Testbed::Testbed(TestbedParams params,
     proxy_->set_channel_observer(fault_->channel_observer());
   }
 
-  // Clients.
+  // Clients.  Energy state lives in the shared fleet ledger (one SoA row
+  // per client) instead of per-object accountants.
+  energy_ledger_ = energy::EnergyLedger{params_.client.power};
+  energy_ledger_.reserve(params_.num_clients);
+  params_.client.ledger = &energy_ledger_;
   clients_.reserve(params_.num_clients);
   for (int i = 0; i < params_.num_clients; ++i) {
     clients_.push_back(std::make_unique<client::EnergyAwareClient>(
@@ -133,7 +142,8 @@ Testbed::Testbed(TestbedParams params,
     proxy_->set_obs(hook);
     if (fault_) fault_->set_obs(hook);
     if (channel_) channel_->set_obs(hook);
-    for (auto& c : clients_) c->set_obs(hook);
+    if (params_.per_client_obs)
+      for (auto& c : clients_) c->set_obs(hook);
   }
 #endif
 }

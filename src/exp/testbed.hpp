@@ -55,6 +55,12 @@ struct TestbedParams {
   // run with all instrumentation hooks detached (near-zero overhead; see
   // bench/micro_obs_overhead.cpp for the compile-time-off path).
   bool observe = true;
+  // Attach the observer hook to every individual client (awake time-gauge
+  // per client, per-client timeline events).  At 100k clients that is the
+  // dominant observability cost, so scale runs disable it and keep the
+  // cell-level streams (proxy, AP, medium) only.  No effect when
+  // `observe` is false.
+  bool per_client_obs = true;
 };
 
 class Testbed {
@@ -128,6 +134,9 @@ class Testbed {
   std::unique_ptr<channel::ChannelModel> channel_;
   std::shared_ptr<obs::Observer> observer_;
   std::unique_ptr<check::Auditor> auditor_;
+  // Fleet-wide flat energy state; every client's accountant is a row
+  // handle into this ledger.  Must outlive clients_ (declared before it).
+  energy::EnergyLedger energy_ledger_;
   std::vector<std::unique_ptr<client::EnergyAwareClient>> clients_;
   std::vector<std::unique_ptr<net::Node>> servers_;
   int next_server_ = 1;
@@ -135,7 +144,9 @@ class Testbed {
   bool sim_metrics_published_ = false;
 };
 
-// Client address helper: clients are 172.16.0.<i+1>.
+// Client address helper: 16-bit index over the low two octets —
+// 172.16.<(i+1)>>8>.<(i+1)&0xff>; the first 255 clients keep the
+// historical 172.16.0.<i+1> form.
 net::Ipv4Addr testbed_client_ip(int i);
 
 }  // namespace pp::exp

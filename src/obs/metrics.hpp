@@ -23,6 +23,7 @@ class Counter {
  public:
   void inc(std::uint64_t n = 1) { v_ += n; }
   std::uint64_t value() const { return v_; }
+  void merge_from(const Counter& o) { v_ += o.v_; }
 
  private:
   std::uint64_t v_ = 0;
@@ -32,6 +33,9 @@ class Gauge {
  public:
   void set(double v) { v_ = v; }
   double value() const { return v_; }
+  // Merge semantics for cross-partition aggregation: gauges are additive
+  // snapshots (queue depths, populations), so merging sums them.
+  void merge_from(const Gauge& o) { v_ += o.v_; }
 
  private:
   double v_ = 0;
@@ -58,6 +62,25 @@ class TimeWeightedGauge {
 
   void finalize(sim::Time end) {
     if (started_) fold(end);
+  }
+
+  // Merge a finalized gauge from another partition running on the same
+  // simulated clock: the integrals add, the observation span becomes the
+  // union of both spans, and last() reports the later of the two tails.
+  // Call finalize() on both sides first so no open segment is dropped.
+  void merge_from(const TimeWeightedGauge& o) {
+    if (!o.started_) return;
+    if (!started_) {
+      *this = o;
+      return;
+    }
+    if (o.start_ < start_) start_ = o.start_;
+    if (o.last_t_ > last_t_ || (o.last_t_ == last_t_ && o.last_v_ > last_v_))
+      last_v_ = o.last_v_;
+    if (o.last_t_ > last_t_) last_t_ = o.last_t_;
+    integral_ += o.integral_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
   }
 
   bool started() const { return started_; }
@@ -123,6 +146,16 @@ class Histogram {
     return buckets_;
   }
 
+  void merge_from(const Histogram& o) {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += o.buckets_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
@@ -160,6 +193,20 @@ class MetricsRegistry {
   // the run's horizon is known, before exporting).
   void finalize(sim::Time end) {
     for (auto& [name, g] : time_gauges_) g.finalize(end);
+  }
+
+  // Fold another registry into this one, name by name: counters and
+  // histograms add, gauges sum, time-weighted gauges take the union of
+  // their observation spans.  Used at multi-cell teardown to aggregate the
+  // per-cell registries into one fleet view; finalize() both registries
+  // first.  Deterministic: std::map iteration is name order.
+  void merge_from(const MetricsRegistry& o) {
+    for (const auto& [name, c] : o.counters_) counters_[name].merge_from(c);
+    for (const auto& [name, g] : o.gauges_) gauges_[name].merge_from(g);
+    for (const auto& [name, g] : o.time_gauges_)
+      time_gauges_[name].merge_from(g);
+    for (const auto& [name, h] : o.histograms_)
+      histograms_[name].merge_from(h);
   }
 
  private:

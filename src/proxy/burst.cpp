@@ -15,13 +15,11 @@ void BurstSession::open() {
   // The demand set can shrink mid-interval: a client that departed between
   // the SRP and its slot must not have state re-created for a burst nobody
   // is listening to.  Its slot simply goes unused (non-overlap holds).
-  auto cit = p.clients_.find(entry_.client);
-  if (cit == p.clients_.end() ||
-      cit->second->membership == TransparentProxy::Membership::Departed) {
+  const ClientId id = p.table_.find(entry_.client);
+  if (id == kNoClient || p.table_.membership(id) == Membership::Departed) {
     ++p.stats_.bursts_skipped;
     return;
   }
-  TransparentProxy::ClientState& cs = *cit->second;
   ++p.stats_.bursts_opened;
   sim::Duration budget = entry_.duration - p.params_.slots.burst_guard;
   if (budget < sim::Time::zero()) budget = sim::Time::zero();
@@ -32,13 +30,14 @@ void BurstSession::open() {
   // BufferedPassthrough mode) into the burst chain, paced by the send-cost
   // model.  Chunk views move between the queues; the datagrams stay put.
   net::ChunkQueue chain{p.chunk_pool_};
+  net::ChunkQueue& pkt_q = p.table_.queue(id);
   if (entry_.kind != SlotKind::TcpOnly) {
-    while (!cs.pkt_q.empty()) {
-      const std::uint32_t payload = cs.pkt_q.front()->length;
+    while (!pkt_q.empty()) {
+      const std::uint32_t payload = pkt_q.front()->length;
       const double cost = p.estimator_.packet_cost(payload).to_seconds();
       if (spent_s + cost > budget_s) break;
       spent_s += cost;
-      cs.pkt_q.pop_front_to(chain);
+      pkt_q.pop_front_to(chain);
       p.total_q_bytes_ -= payload;
       ++p.stats_.burst_packets;
     }
@@ -55,8 +54,9 @@ void BurstSession::open() {
     const sim::Duration remaining = sim::Time::seconds(budget_s - spent_s);
     std::uint64_t allowance = p.estimator_.payload_budget(
         remaining, p.params_.slots.mtu, p.params_.slots.tcp_ack_bytes);
-    plans.reserve(cs.splices.size());
-    for (TransparentProxy::Splice* s : cs.splices) {
+    const std::vector<Splice*>& splices = p.table_.splices(id);
+    plans.reserve(splices.size());
+    for (Splice* s : splices) {
       const std::uint64_t pre = s->client_side->bytes_unsent();
       const std::uint64_t pre_use = std::min(allowance, pre);
       allowance -= pre_use;
@@ -85,7 +85,7 @@ void BurstSession::open() {
   // bytes will flow, arm the last active splice's marker; otherwise mark
   // the chain's tail view; otherwise synthesize a tiny marked control
   // packet so the client can sleep (dynamic schedules only).
-  TransparentProxy::Splice* marking = nullptr;
+  Splice* marking = nullptr;
   bool need_empty_marker = false;
   if (any_tcp) {
     for (auto& pl : plans)
@@ -143,8 +143,7 @@ void BurstSession::open() {
   // before it sleeps on the mark.
   if (need_empty_marker) emit_empty_marker();
 
-  if (cs.membership == TransparentProxy::Membership::Draining &&
-      burst_bytes > 0) {
+  if (p.table_.membership(id) == Membership::Draining && burst_bytes > 0) {
     p.stats_.churn_drained_bytes += burst_bytes;
     PP_OBS(if (auto* c = p.churn_counter(p.ctr_churn_drained_,
                                          "proxy.churn.drained_bytes"))
@@ -159,15 +158,15 @@ void BurstSession::open() {
   // A graceful leaver whose last queued byte just went out departs now
   // rather than waiting for the drain deadline.  (May destroy this burst's
   // splices — nothing below touches them.)
-  p.maybe_finish_drain(cs);
+  p.maybe_finish_drain(id);
 }
 
 void BurstSession::close() {
   TransparentProxy& p = proxy_;
   if (entry_.kind == SlotKind::UdpOnly) return;
-  auto it = p.clients_.find(entry_.client);
-  if (it == p.clients_.end()) return;
-  for (TransparentProxy::Splice* s : it->second->splices)
+  const ClientId id = p.table_.find(entry_.client);
+  if (id == kNoClient) return;
+  for (Splice* s : p.table_.splices(id))
     s->client_side->set_send_gate(false);
 }
 

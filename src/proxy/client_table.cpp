@@ -1,0 +1,34 @@
+#include "proxy/client_table.hpp"
+
+namespace pp::proxy {
+
+void ClientTable::reserve(std::size_t n) {
+  ip_.reserve(n);
+  pkt_q_.reserve(n);
+  splices_.reserve(n);
+  last_activity_.reserve(n);
+  membership_.reserve(n);
+  leave_seq_.reserve(n);
+  drain_timer_.reserve(n);
+  channel_.reserve(n);
+  index_.reserve(n);
+}
+
+ClientId ClientTable::ensure(net::Ipv4Addr ip, sim::Time now) {
+  const auto it = index_.find(ip);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<ClientId>(ip_.size());
+  ip_.push_back(ip);
+  pkt_q_.emplace_back();
+  pkt_q_.back().set_pool(pool_);
+  splices_.emplace_back();
+  last_activity_.push_back(now);
+  membership_.push_back(Membership::Joined);
+  leave_seq_.push_back(0);
+  drain_timer_.emplace_back();
+  channel_.emplace_back();
+  index_.emplace(ip, id);
+  return id;
+}
+
+}  // namespace pp::proxy

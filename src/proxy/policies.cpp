@@ -14,12 +14,13 @@ namespace {
 constexpr std::uint64_t kPolicyStreamTag = 0x5C4ED001'BA5EBA11ULL;
 
 // FixedInterval-style layout over the served subset: each client gets its
-// full drain cost, shrunk proportionally to queue depth when the subset
-// overcommits the interval (Section 3.2.1's rule, applied post-admission).
+// full drain cost (per `cost_of`, so measured-goodput widening composes),
+// shrunk proportionally to queue depth when the subset overcommits the
+// interval (Section 3.2.1's rule, applied post-admission).
+template <typename CostFn>
 std::vector<std::pair<net::Ipv4Addr, sim::Duration>> fit_proportional(
-    const std::vector<const ClientDemand*>& served,
-    const BandwidthEstimator& est, const SlotParams& sp,
-    sim::Duration available) {
+    const std::vector<const ClientDemand*>& served, sim::Duration available,
+    CostFn cost_of) {
   std::vector<std::pair<net::Ipv4Addr, sim::Duration>> slots;
   std::vector<std::uint64_t> bytes;
   slots.reserve(served.size());
@@ -27,7 +28,7 @@ std::vector<std::pair<net::Ipv4Addr, sim::Duration>> fit_proportional(
   sim::Duration total = sim::Time::zero();
   std::uint64_t total_bytes = 0;
   for (const ClientDemand* d : served) {
-    const sim::Duration cost = demand_cost(*d, est, sp) + sp.burst_guard;
+    const sim::Duration cost = cost_of(*d);
     slots.emplace_back(d->ip, cost);
     bytes.push_back(d->total());
     total += cost;
@@ -85,7 +86,7 @@ BuiltSchedule LongestQueueFirstScheduler::build(
       ++starved;
       continue;
     }
-    sim::Duration cost = demand_cost(*d, est, sp_) + sp_.burst_guard;
+    sim::Duration cost = widened_cost(*d, est, sp_);
     if (cost > remaining) cost = remaining;  // partial tail slot
     slots.emplace_back(d->ip, cost);
     used += cost;
@@ -147,18 +148,7 @@ BuiltSchedule ChannelAwareOpportunisticScheduler::build(
   for (const ClientDemand* d : served) {
     const sim::Duration remaining = available - used;
     if (remaining <= sp_.burst_guard) break;  // tail starved this interval
-    sim::Duration cost = demand_cost(*d, est, sp_) + sp_.burst_guard;
-    if (use_measured_goodput_ && d->channel.known &&
-        d->channel.goodput_bps > 0) {
-      // Measured EWMA goodput instead of the rung-nominal rate: only ever
-      // widens the slot (a lucky EWMA above nominal must not under-size it
-      // and cause an overrun the burst guard cannot absorb).
-      const sim::Duration measured =
-          sim::Time::seconds(static_cast<double>(d->total()) * 8.0 /
-                             d->channel.goodput_bps) +
-          sp_.burst_guard;
-      if (measured > cost) cost = measured;
-    }
+    sim::Duration cost = widened_cost(*d, est, sp_);
     if (cost > remaining) cost = remaining;
     slots.emplace_back(d->ip, cost);
     used += cost;
@@ -208,7 +198,10 @@ BuiltSchedule BufferAwareProbabilisticScheduler::build(
   }
   PP_OBS(if (ctr_skips_ && skips > 0) ctr_skips_->inc(skips);
          if (ctr_forced_ && forced > 0) ctr_forced_->inc(forced));
-  const auto slots = fit_proportional(served, est, sp_, available);
+  const auto slots =
+      fit_proportional(served, available, [&](const ClientDemand& d) {
+        return widened_cost(d, est, sp_);
+      });
   return BuiltSchedule{interval_, false, lay_out(slots, sp_.lead)};
 }
 

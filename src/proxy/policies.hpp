@@ -51,17 +51,15 @@ class ChannelAwareOpportunisticScheduler final : public Scheduler {
   // `max_deferrals`: consecutive SRPs a bad-channel client may be skipped
   // before it is served regardless (in addition to the deadline-slack
   // guard, which force-serves earlier when data would go late).
-  // `use_measured_goodput`: size slots by the ChannelView's EWMA goodput
-  // when it is worse than the calibrated nominal rate, so a degraded
-  // channel gets the airtime its data will actually take instead of
-  // overrunning a rung-nominal slot.
+  // `use_measured_goodput`: convenience forward to the base class's
+  // set_measured_goodput (widen slots by measured EWMA goodput when it is
+  // worse than the rung-nominal rate).
   explicit ChannelAwareOpportunisticScheduler(
       sim::Duration interval, int max_deferrals = 3, SlotParams sp = {},
       bool use_measured_goodput = false)
-      : interval_{interval},
-        max_deferrals_{max_deferrals},
-        sp_{sp},
-        use_measured_goodput_{use_measured_goodput} {}
+      : interval_{interval}, max_deferrals_{max_deferrals}, sp_{sp} {
+    set_measured_goodput(use_measured_goodput);
+  }
   BuiltSchedule build(const std::vector<ClientDemand>& demands,
                       const BandwidthEstimator& est) override;
   void set_obs(obs::Hook hook) override;
@@ -70,7 +68,6 @@ class ChannelAwareOpportunisticScheduler final : public Scheduler {
   sim::Duration interval_;
   int max_deferrals_;
   SlotParams sp_;
-  bool use_measured_goodput_ = false;
   // Consecutive deferrals per client (ordered map: layout must never
   // follow hash-bucket order).
   std::map<std::uint32_t, int> deferred_;

@@ -27,6 +27,20 @@ std::vector<ScheduleEntry> lay_out(
   return entries;
 }
 
+sim::Duration Scheduler::widened_cost(const ClientDemand& d,
+                                      const BandwidthEstimator& est,
+                                      const SlotParams& sp) const {
+  sim::Duration cost = demand_cost(d, est, sp) + sp.burst_guard;
+  if (measured_goodput_ && d.channel.known && d.channel.goodput_bps > 0) {
+    const sim::Duration measured =
+        sim::Time::seconds(static_cast<double>(d.total()) * 8.0 /
+                           d.channel.goodput_bps) +
+        sp.burst_guard;
+    if (measured > cost) cost = measured;
+  }
+  return cost;
+}
+
 bool slots_conflict(const ScheduleEntry& a, const ScheduleEntry& b) {
   if (a.kind == SlotKind::TcpOnly && b.kind == SlotKind::TcpOnly) return false;
   return a.rp_offset + a.duration > b.rp_offset &&
@@ -44,7 +58,7 @@ BuiltSchedule FixedIntervalScheduler::build(
   std::uint64_t total_bytes = 0;
   for (const auto& d : demands) {
     if (d.total() == 0) continue;
-    const sim::Duration cost = demand_cost(d, est, sp_) + sp_.burst_guard;
+    const sim::Duration cost = widened_cost(d, est, sp_);
     slots.emplace_back(d.ip, cost);
     bytes.push_back(d.total());
     total += cost;
@@ -70,7 +84,7 @@ BuiltSchedule VariableIntervalScheduler::build(
   sim::Duration total = sim::Time::zero();
   for (const auto& d : demands) {
     if (d.total() == 0) continue;
-    const sim::Duration cost = demand_cost(d, est, sp_) + sp_.burst_guard;
+    const sim::Duration cost = widened_cost(d, est, sp_);
     slots.emplace_back(d.ip, cost);
     total += cost;
   }

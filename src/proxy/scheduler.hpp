@@ -70,6 +70,21 @@ class Scheduler {
   // Publish sched.policy.* counters (default: nothing to publish).  The
   // proxy forwards its own hook here at wiring time.
   virtual void set_obs(obs::Hook hook) { (void)hook; }
+  // Size slots by the ChannelView's measured EWMA goodput when it is worse
+  // than the calibrated nominal rate (see widened_cost).  Composes with
+  // every demand-driven policy; the static schedules ignore per-client
+  // costs, so it is rejected for them at the builder.
+  void set_measured_goodput(bool on) { measured_goodput_ = on; }
+
+ protected:
+  // Drain cost for `d` including the burst guard, widened by the measured
+  // goodput when enabled.  Widening only: a lucky EWMA above nominal must
+  // not under-size the slot and cause an overrun the guard cannot absorb.
+  sim::Duration widened_cost(const ClientDemand& d,
+                             const BandwidthEstimator& est,
+                             const SlotParams& sp) const;
+
+  bool measured_goodput_ = false;
 };
 
 // -- Shared policy helpers ---------------------------------------------------------

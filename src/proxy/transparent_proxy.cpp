@@ -85,6 +85,13 @@ void TransparentProxy::stop() {
   burst_handles_.clear();
 }
 
+void TransparentProxy::close_all_gates() {
+  // Flat id walk: gate close order is the registration order (and it is
+  // order-insensitive anyway — gates are independent).
+  for (ClientId id = 0; id < table_.size(); ++id)
+    for (Splice* s : table_.splices(id)) s->client_side->set_send_gate(false);
+}
+
 void TransparentProxy::pause() {
   if (paused_) return;
   paused_ = true;
@@ -94,9 +101,7 @@ void TransparentProxy::pause() {
   burst_handles_.clear();
   // Close the gates so no splice keeps streaming into a dead interval;
   // queued datagrams and buffered splice bytes stay put.
-  // pp-lint: allow(unordered-iter): gate close is order-insensitive
-  for (const auto& [ip, cs] : clients_)
-    for (Splice* s : cs->splices) s->client_side->set_send_gate(false);
+  close_all_gates();
 }
 
 void TransparentProxy::resume() {
@@ -107,47 +112,37 @@ void TransparentProxy::resume() {
 }
 
 std::uint64_t TransparentProxy::buffered_bytes(net::Ipv4Addr client) const {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) return 0;
-  std::uint64_t total = it->second->pkt_q.bytes();
-  for (const Splice* s : it->second->splices)
+  const ClientId id = table_.find(client);
+  if (id == kNoClient) return 0;
+  std::uint64_t total = table_.queue(id).bytes();
+  for (const Splice* s : table_.splices(id))
     total += s->buffered + s->client_side->bytes_unsent();
   return total;
 }
 
-TransparentProxy::ClientState& TransparentProxy::client_state(
-    net::Ipv4Addr ip) {
-  auto it = clients_.find(ip);
-  if (it == clients_.end()) {
-    auto cs = std::make_unique<ClientState>();
-    cs->ip = ip;
-    cs->pkt_q.set_pool(chunk_pool_);
-    cs->last_activity = sim_.now();
-    it = clients_.emplace(ip, std::move(cs)).first;
-    client_order_.push_back(ip);
-  }
-  return *it->second;
+void TransparentProxy::reserve_clients(std::size_t n) {
+  table_.reserve(n);
+  demands_scratch_.reserve(n);
 }
 
 void TransparentProxy::register_client(net::Ipv4Addr ip) {
-  ClientState& cs = client_state(ip);
-  if (cs.membership == Membership::Joined) return;
+  const ClientId id = table_.ensure(ip, sim_.now());
+  if (table_.membership(id) == Membership::Joined) return;
   // Re-join: a Draining client that comes back keeps its queue; a Departed
   // one starts clean (its queue was dropped at departure).
-  cs.drain_timer.cancel();
-  cs.membership = Membership::Joined;
-  cs.last_activity = sim_.now();
+  table_.drain_timer(id).cancel();
+  table_.membership(id) = Membership::Joined;
+  table_.last_activity(id) = sim_.now();
 }
 
 void TransparentProxy::deregister_client(net::Ipv4Addr ip) {
-  auto it = clients_.find(ip);
-  if (it == clients_.end() || it->second->membership == Membership::Departed)
+  const ClientId id = table_.find(ip);
+  if (id == kNoClient || table_.membership(id) == Membership::Departed)
     return;
-  ClientState& cs = *it->second;
-  cs.drain_timer.cancel();
-  drop_queue(cs);
-  abort_splices(cs);
-  cs.membership = Membership::Departed;
+  table_.drain_timer(id).cancel();
+  drop_queue(id);
+  abort_splices(id);
+  table_.membership(id) = Membership::Departed;
   ++stats_.leaves;
   PP_OBS(if (auto* c = churn_counter(ctr_leaves_, "proxy.churn.leaves"))
              c->inc();
@@ -156,61 +151,61 @@ void TransparentProxy::deregister_client(net::Ipv4Addr ip) {
 }
 
 bool TransparentProxy::client_active(net::Ipv4Addr ip) const {
-  auto it = clients_.find(ip);
-  return it != clients_.end() &&
-         it->second->membership != Membership::Departed;
+  const ClientId id = table_.find(ip);
+  return id != kNoClient && table_.membership(id) != Membership::Departed;
 }
 
 void TransparentProxy::on_assoc_packet(const net::Packet& pkt) {
   const auto msg = std::dynamic_pointer_cast<const AssocMessage>(pkt.data);
   if (!msg) return;
   ++stats_.assoc_rx;
-  ClientState& cs = client_state(pkt.src);
+  const ClientId id = table_.ensure(pkt.src, sim_.now());
   switch (msg->kind) {
     case AssocKind::Join: {
-      const bool fresh = cs.membership != Membership::Joined;
+      const bool fresh = table_.membership(id) != Membership::Joined;
       if (fresh) {
-        cs.drain_timer.cancel();
-        cs.membership = Membership::Joined;
-        cs.last_activity = sim_.now();
+        table_.drain_timer(id).cancel();
+        table_.membership(id) = Membership::Joined;
+        table_.last_activity(id) = sim_.now();
         ++stats_.joins;
         PP_OBS(if (auto* c = churn_counter(ctr_joins_, "proxy.churn.joins"))
                    c->inc();
                if (auto* tl = obs_.timeline())
                    tl->record(sim_.now(), obs::EventKind::ClientJoin,
-                              cs.ip.raw()));
+                              table_.ip(id).raw()));
       }
       // Ack first, renegotiate second: the unicast ack enters the downlink
       // path ahead of the fresh broadcast, so the client normally holds a
       // JoinAck by the time the schedule lands.
-      send_assoc(AssocKind::JoinAck, cs.ip, msg->seq);
+      send_assoc(AssocKind::JoinAck, table_.ip(id), msg->seq);
       if (fresh) renegotiate();
       break;
     }
     case AssocKind::Leave: {
-      if (cs.membership == Membership::Departed) {
+      if (table_.membership(id) == Membership::Departed) {
         // The LeaveAck was lost; the departure already completed.  Re-ack.
-        send_assoc(AssocKind::LeaveAck, cs.ip, msg->seq);
+        send_assoc(AssocKind::LeaveAck, table_.ip(id), msg->seq);
         break;
       }
-      cs.leave_seq = msg->seq;
-      if (cs.membership == Membership::Draining) break;  // retransmission
+      table_.leave_seq(id) = msg->seq;
+      if (table_.membership(id) == Membership::Draining)
+        break;  // retransmission
       if (!msg->graceful) {
-        finish_leave(cs, /*timed_out=*/false);
+        finish_leave(id, /*timed_out=*/false);
         break;
       }
-      cs.membership = Membership::Draining;
-      cs.drain_timer =
-          sim_.after(params_.drain_deadline, [this, ip = cs.ip] {
-            auto it = clients_.find(ip);
-            if (it != clients_.end() &&
-                it->second->membership == Membership::Draining)
-              finish_leave(*it->second, /*timed_out=*/true);
+      table_.membership(id) = Membership::Draining;
+      table_.drain_timer(id) =
+          sim_.after(params_.drain_deadline, [this, ip = table_.ip(id)] {
+            const ClientId cid = table_.find(ip);
+            if (cid != kNoClient &&
+                table_.membership(cid) == Membership::Draining)
+              finish_leave(cid, /*timed_out=*/true);
           });
       // A fresh schedule gives the drain its slot without waiting out the
       // current interval; if nothing is queued this completes immediately.
-      maybe_finish_drain(cs);
-      if (cs.membership == Membership::Draining) renegotiate();
+      maybe_finish_drain(id);
+      if (table_.membership(id) == Membership::Draining) renegotiate();
       break;
     }
     case AssocKind::JoinAck:
@@ -249,50 +244,49 @@ void TransparentProxy::renegotiate() {
   tick_handle_.cancel();
   for (auto& h : burst_handles_) h.cancel();
   burst_handles_.clear();
-  // pp-lint: allow(unordered-iter): gate close is order-insensitive
-  for (const auto& [ip, cs] : clients_)
-    for (Splice* s : cs->splices) s->client_side->set_send_gate(false);
+  close_all_gates();
   tick_handle_ = sim_.at(sim_.now(), [this] { schedule_tick(); });
 }
 
-bool TransparentProxy::drained(const ClientState& cs) const {
-  if (!cs.pkt_q.empty()) return false;
-  for (const Splice* s : cs.splices)
+bool TransparentProxy::drained(ClientId id) const {
+  if (!table_.queue(id).empty()) return false;
+  for (const Splice* s : table_.splices(id))
     if (s->buffered + s->client_side->bytes_unsent() > 0) return false;
   return true;
 }
 
-void TransparentProxy::maybe_finish_drain(ClientState& cs) {
-  if (cs.membership == Membership::Draining && drained(cs))
-    finish_leave(cs, /*timed_out=*/false);
+void TransparentProxy::maybe_finish_drain(ClientId id) {
+  if (table_.membership(id) == Membership::Draining && drained(id))
+    finish_leave(id, /*timed_out=*/false);
 }
 
-void TransparentProxy::finish_leave(ClientState& cs, bool timed_out) {
+void TransparentProxy::finish_leave(ClientId id, bool timed_out) {
   (void)timed_out;
-  cs.drain_timer.cancel();
-  const std::uint64_t dropped = cs.pkt_q.bytes();
+  table_.drain_timer(id).cancel();
+  const std::uint64_t dropped = table_.queue(id).bytes();
   (void)dropped;  // obs-only: the ClientLeave record carries it
-  drop_queue(cs);
-  abort_splices(cs);
-  cs.membership = Membership::Departed;
+  drop_queue(id);
+  abort_splices(id);
+  table_.membership(id) = Membership::Departed;
   ++stats_.leaves;
   PP_OBS(if (auto* c = churn_counter(ctr_leaves_, "proxy.churn.leaves"))
              c->inc();
          if (auto* tl = obs_.timeline())
-             tl->record(sim_.now(), obs::EventKind::ClientLeave, cs.ip.raw(),
-                        dropped));
-  send_assoc(AssocKind::LeaveAck, cs.ip, cs.leave_seq);
+             tl->record(sim_.now(), obs::EventKind::ClientLeave,
+                        table_.ip(id).raw(), dropped));
+  send_assoc(AssocKind::LeaveAck, table_.ip(id), table_.leave_seq(id));
 }
 
-void TransparentProxy::drop_queue(ClientState& cs) {
-  const std::uint64_t bytes = cs.pkt_q.bytes();
-  while (!cs.pkt_q.empty()) {
-    total_q_bytes_ -= cs.pkt_q.front()->length;
-    cs.pkt_q.drop_front();
+void TransparentProxy::drop_queue(ClientId id) {
+  net::ChunkQueue& q = table_.queue(id);
+  const std::uint64_t bytes = q.bytes();
+  while (!q.empty()) {
+    total_q_bytes_ -= q.front()->length;
+    q.drop_front();
     ++stats_.churn_dropped_packets;
   }
   stats_.churn_dropped_bytes += bytes;
-  PP_CHECK_AT(cs.pkt_q.bytes() == 0, "proxy.churn.queue_drop", sim_.now());
+  PP_CHECK_AT(q.bytes() == 0, "proxy.churn.queue_drop", sim_.now());
   PP_OBS(if (bytes > 0) {
     if (auto* c =
             churn_counter(ctr_churn_dropped_, "proxy.churn.dropped_bytes"))
@@ -302,14 +296,15 @@ void TransparentProxy::drop_queue(ClientState& cs) {
   });
 }
 
-void TransparentProxy::abort_splices(ClientState& cs) {
+void TransparentProxy::abort_splices(ClientId id) {
   // The departing client will never ack another segment: tear both sides
   // down now so no per-splice state outlives membership.  Wired segments
   // that later arrive for these flows count as unmatched, like segments
   // for any reaped splice.
-  while (!cs.splices.empty()) {
-    Splice* sp = cs.splices.back();
-    cs.splices.pop_back();
+  std::vector<Splice*>& splices = table_.splices(id);
+  while (!splices.empty()) {
+    Splice* sp = splices.back();
+    splices.pop_back();
     by_server_flow_.erase(sp->key.reversed());
     by_client_flow_.erase(sp->key);
     ++stats_.splices_closed;
@@ -317,10 +312,10 @@ void TransparentProxy::abort_splices(ClientState& cs) {
 }
 
 void TransparentProxy::enqueue_downlink(net::Packet pkt) {
-  ClientState& cs = client_state(pkt.dst);
+  const ClientId id = table_.ensure(pkt.dst, sim_.now());
   // No membership, no buffering: downlink for a departed client is dropped
   // at the door (counted with the queue-limit drops).
-  if (cs.membership == Membership::Departed) {
+  if (table_.membership(id) == Membership::Departed) {
     ++stats_.queue_drops;
     PP_OBS(if (ctr_queue_drops_) ctr_queue_drops_->inc();
            if (auto* tl = obs_.timeline())
@@ -328,10 +323,11 @@ void TransparentProxy::enqueue_downlink(net::Packet pkt) {
                           pkt.payload));
     return;
   }
-  cs.last_activity = sim_.now();
+  table_.last_activity(id) = sim_.now();
+  net::ChunkQueue& q = table_.queue(id);
   // Admission in payload bytes — the one queue_limit_bytes convention for
   // application buffering (see net/chunk.hpp).
-  if (cs.pkt_q.bytes() + pkt.payload > params_.queue_limit_bytes) {
+  if (q.bytes() + pkt.payload > params_.queue_limit_bytes) {
     ++stats_.queue_drops;
     PP_OBS(if (ctr_queue_drops_) ctr_queue_drops_->inc();
            if (auto* tl = obs_.timeline())
@@ -340,7 +336,7 @@ void TransparentProxy::enqueue_downlink(net::Packet pkt) {
     return;
   }
   total_q_bytes_ += pkt.payload;
-  cs.pkt_q.push(std::move(pkt));
+  q.push(std::move(pkt));
   ++stats_.queued_packets;
   PP_OBS(if (ctr_queued_) {
     ctr_queued_->inc();
@@ -396,8 +392,7 @@ void TransparentProxy::on_wireless_packet(net::Packet pkt) {
   ++stats_.unmatched_packets;
 }
 
-TransparentProxy::Splice& TransparentProxy::create_splice(
-    const net::Packet& syn) {
+Splice& TransparentProxy::create_splice(const net::Packet& syn) {
   // Figure 3: the client's SYN to the server is terminated locally by a
   // client-side socket masquerading as the server (steps 1-4), and a
   // server-side socket masquerading as the client opens the onward
@@ -432,7 +427,7 @@ TransparentProxy::Splice& TransparentProxy::create_splice(
 
   sp->server_side->set_on_deliver([this, sp](std::uint64_t n) {
     sp->buffered += n;
-    client_state(sp->client_ip).last_activity = sim_.now();
+    table_.last_activity(table_.ensure(sp->client_ip, sim_.now())) = sim_.now();
   });
   sp->server_side->set_on_remote_fin([this, sp] {
     sp->server_fin = true;
@@ -446,7 +441,7 @@ TransparentProxy::Splice& TransparentProxy::create_splice(
   });
 
   by_server_flow_.emplace(sp->key.reversed(), sp);
-  client_state(syn.src).splices.push_back(sp);
+  table_.splices(table_.ensure(syn.src, sim_.now())).push_back(sp);
   ++stats_.splices_created;
   auto [it, ok] = by_client_flow_.emplace(sp->key, std::move(splice));
   PP_CHECK_AT(ok, "proxy.splice.duplicate_flow", sim_.now());
@@ -476,7 +471,7 @@ void TransparentProxy::reap_splices() {
     auto it = by_client_flow_.find(key);
     Splice* sp = it->second.get();
     by_server_flow_.erase(key.reversed());
-    auto& vec = client_state(sp->client_ip).splices;
+    auto& vec = table_.splices(table_.ensure(sp->client_ip, sim_.now()));
     std::erase(vec, sp);
     by_client_flow_.erase(it);
     ++stats_.splices_closed;
@@ -490,15 +485,15 @@ void TransparentProxy::audit() const {
   // identity).  A departed client must hold no residue at all.
   std::uint64_t residual_pkts = 0;
   std::uint64_t residual_bytes = 0;
-  // pp-lint: allow(unordered-iter): order-insensitive sums
-  for (const auto& [ip, cs] : clients_) {
+  for (ClientId id = 0; id < table_.size(); ++id) {
     // Chunk-granularity structural audit: view totals, refcounts and
     // offset/length ranges of the residual queue itself.
-    cs->pkt_q.audit();
-    residual_pkts += cs->pkt_q.packets();
-    residual_bytes += cs->pkt_q.bytes();
-    if (cs->membership == Membership::Departed) {
-      PP_CHECK_AT(cs->pkt_q.empty() && cs->splices.empty(),
+    const net::ChunkQueue& q = table_.queue(id);
+    q.audit();
+    residual_pkts += q.packets();
+    residual_bytes += q.bytes();
+    if (table_.membership(id) == Membership::Departed) {
+      PP_CHECK_AT(q.empty() && table_.splices(id).empty(),
                   "proxy.churn.departed_state_leak", sim_.now());
     }
   }
@@ -528,17 +523,17 @@ void TransparentProxy::schedule_tick() {
 
   std::vector<ClientDemand>& demands = demands_scratch_;
   demands.clear();
-  demands.reserve(client_order_.size());
-  for (const auto& ip : client_order_) {
-    const ClientState& cs = *clients_.at(ip);
+  demands.reserve(table_.size());
+  for (ClientId id = 0; id < table_.size(); ++id) {
     // Departed clients are out of the demand set; Draining ones stay until
     // their queue empties or the drain deadline drops it.
-    if (cs.membership == Membership::Departed) continue;
+    if (table_.membership(id) == Membership::Departed) continue;
+    const net::ChunkQueue& q = table_.queue(id);
     ClientDemand d;
-    d.ip = ip;
-    d.udp_bytes = cs.pkt_q.bytes();
-    d.udp_packets = cs.pkt_q.packets();
-    for (const Splice* s : cs.splices) {
+    d.ip = table_.ip(id);
+    d.udp_bytes = q.bytes();
+    d.udp_packets = q.packets();
+    for (const Splice* s : table_.splices(id)) {
       d.tcp_bytes += s->buffered + s->client_side->bytes_unsent();
       // A pending or unacknowledged FIN needs a slot too (it only leaves,
       // or is retransmitted, when the gate opens).
@@ -548,14 +543,18 @@ void TransparentProxy::schedule_tick() {
     // Deadline slack: how long the oldest buffered datagram can still wait
     // before blowing the delay target.  Full target when nothing is queued.
     d.deadline_slack = params_.delay_target;
-    if (!cs.pkt_q.empty()) {
-      const sim::Duration age =
-          sim_.now() - cs.pkt_q.front()->data->pkt.sent_at;
+    if (!q.empty()) {
+      const sim::Duration age = sim_.now() - q.front()->data->pkt.sent_at;
       d.deadline_slack = age >= params_.delay_target
                              ? sim::Time::zero()
                              : params_.delay_target - age;
     }
-    if (channel_obs_ != nullptr) d.channel = channel_obs_->view_of(ip);
+    if (channel_obs_ != nullptr) {
+      // Refresh the flat channel column once per SRP; the demand snapshot
+      // (and any multi-pass policy) reads the cached copy.
+      table_.channel(id) = channel_obs_->view_of(d.ip);
+      d.channel = table_.channel(id);
+    }
     demands.push_back(d);
   }
 

@@ -30,6 +30,7 @@
 #include "obs/hooks.hpp"
 #include "proxy/assoc.hpp"
 #include "proxy/bandwidth.hpp"
+#include "proxy/client_table.hpp"
 #include "proxy/marker.hpp"
 #include "proxy/schedule.hpp"
 #include "proxy/scheduler.hpp"
@@ -39,6 +40,20 @@
 namespace pp::proxy {
 
 class BurstSession;
+
+// One spliced TCP connection pair (Figure 3): the client-side socket
+// masquerades as the server, the server-side socket as the client.  Owned
+// by the proxy's flow maps; ClientTable rows hold non-owning pointers.
+struct Splice {
+  net::FlowKey key;  // client -> server
+  net::Ipv4Addr client_ip;
+  std::unique_ptr<transport::TcpConnection> client_side;
+  std::unique_ptr<transport::TcpConnection> server_side;
+  BurstMarker marker;
+  std::uint64_t buffered = 0;  // server bytes awaiting burst to client
+  bool server_fin = false;     // server finished sending
+  bool client_close_requested = false;
+};
 
 enum class ProxyMode : std::uint8_t {
   // Full system: spliced TCP + buffered UDP + burst scheduling.
@@ -167,6 +182,8 @@ class TransparentProxy {
   void deregister_client(net::Ipv4Addr ip);
   // True while the client is in the demand set (Joined or Draining).
   bool client_active(net::Ipv4Addr ip) const;
+  // Pre-size the client table (and demand scratch) for a known fleet.
+  void reserve_clients(std::size_t n);
 
   // Wire a channel-quality observer (owned elsewhere — typically the
   // testbed's ChannelModel, or the FaultPlan's delegated GE chain).  When
@@ -193,37 +210,11 @@ class TransparentProxy {
   const ScheduleMessage* last_schedule() const { return last_schedule_.get(); }
 
  private:
-  struct Splice {
-    net::FlowKey key;  // client -> server
-    net::Ipv4Addr client_ip;
-    std::unique_ptr<transport::TcpConnection> client_side;
-    std::unique_ptr<transport::TcpConnection> server_side;
-    BurstMarker marker;
-    std::uint64_t buffered = 0;  // server bytes awaiting burst to client
-    bool server_fin = false;     // server finished sending
-    bool client_close_requested = false;
-  };
-
   // One splice's TCP allowance within a burst (BurstSession scratch).
   struct BurstPlan {
     Splice* splice;
     std::uint64_t chunk;
     std::uint64_t pre_unsent;
-  };
-
-  // Association lifecycle as the proxy sees it.  Departed entries are kept
-  // in the map (zero queued bytes, no splices) so sustained churn reuses
-  // the same slots instead of growing the heap.
-  enum class Membership : std::uint8_t { Joined, Draining, Departed };
-
-  struct ClientState {
-    net::Ipv4Addr ip;
-    net::ChunkQueue pkt_q;  // buffered raw downlink datagrams (payload bytes)
-    std::vector<Splice*> splices;
-    sim::Time last_activity;
-    Membership membership = Membership::Joined;
-    std::uint64_t leave_seq = 0;  // seq to echo in the eventual LeaveAck
-    sim::EventHandle drain_timer;
   };
 
   class Sink : public net::PacketSink {
@@ -244,20 +235,21 @@ class TransparentProxy {
 
   void on_wired_packet(net::Packet pkt);
   void on_wireless_packet(net::Packet pkt);
-  ClientState& client_state(net::Ipv4Addr ip);
   void enqueue_downlink(net::Packet pkt);
   void on_assoc_packet(const net::Packet& pkt);
   void send_assoc(AssocKind kind, net::Ipv4Addr client, std::uint64_t seq);
   // Membership changed: collapse the current interval and broadcast a
   // fresh schedule immediately (the k-repeat hardening rides along).
   void renegotiate();
-  bool drained(const ClientState& cs) const;
-  void maybe_finish_drain(ClientState& cs);
+  bool drained(ClientId id) const;
+  void maybe_finish_drain(ClientId id);
   // Complete a departure: drop whatever is left, abort splices, mark
   // Departed, ack the Leave.
-  void finish_leave(ClientState& cs, bool timed_out);
-  void drop_queue(ClientState& cs);
-  void abort_splices(ClientState& cs);
+  void finish_leave(ClientId id, bool timed_out);
+  void drop_queue(ClientId id);
+  void abort_splices(ClientId id);
+  // Close every splice's client-side send gate (pause / renegotiate).
+  void close_all_gates();
   Splice& create_splice(const net::Packet& syn);
   void maybe_finish_splice(Splice& s);
   void reap_splices();
@@ -287,10 +279,9 @@ class TransparentProxy {
   std::shared_ptr<net::ChunkPool> chunk_pool_ =
       std::make_shared<net::ChunkPool>();
 
-  std::unordered_map<net::Ipv4Addr, std::unique_ptr<ClientState>,
-                     net::Ipv4AddrHash>
-      clients_;
-  std::vector<net::Ipv4Addr> client_order_;  // deterministic iteration
+  // Flat SoA per-client state, dense ClientId in registration order (see
+  // proxy/client_table.hpp).  Every fleet walk iterates ids 0..size-1.
+  ClientTable table_{chunk_pool_};
   std::unordered_map<net::FlowKey, std::unique_ptr<Splice>, net::FlowKeyHash>
       by_client_flow_;  // key: client -> server
   std::unordered_map<net::FlowKey, Splice*, net::FlowKeyHash>

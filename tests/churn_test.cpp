@@ -271,13 +271,33 @@ TEST(ApChurn, DisassociateFlushesParkedPsmFrames) {
 
 // -- Builder gates -----------------------------------------------------------------
 
-TEST(ChurnBuilder, MeasuredGoodputRequiresOpportunisticPolicy) {
-  exp::ScenarioBuilder bad;
-  bad.video(1, 1)
-      .policy(exp::IntervalPolicy::Fixed500)
+TEST(ChurnBuilder, MeasuredGoodputComposesWithDemandDrivenPolicies) {
+  // Static schedules ignore per-client slot costs, so the knob stays
+  // rejected there.
+  exp::ScenarioBuilder static_eq;
+  static_eq.video(1, 1)
+      .policy(exp::IntervalPolicy::StaticEqual100)
       .duration_s(4.0)
       .measured_goodput();
-  EXPECT_THROW(bad.build(), std::invalid_argument);
+  EXPECT_THROW(static_eq.build(), std::invalid_argument);
+  exp::ScenarioBuilder slotted;
+  slotted.video(1, 1)
+      .web(1)
+      .policy(exp::IntervalPolicy::SlottedStatic500)
+      .duration_s(4.0)
+      .measured_goodput();
+  EXPECT_THROW(slotted.build(), std::invalid_argument);
+
+  // Every demand-driven policy now accepts it.
+  for (const auto p :
+       {exp::IntervalPolicy::Fixed100, exp::IntervalPolicy::Fixed500,
+        exp::IntervalPolicy::Variable, exp::IntervalPolicy::LongestQueue500,
+        exp::IntervalPolicy::Opportunistic500,
+        exp::IntervalPolicy::Probabilistic500}) {
+    exp::ScenarioBuilder b;
+    b.video(1, 1).policy(p).duration_s(4.0).measured_goodput();
+    EXPECT_NO_THROW(b.build()) << exp::policy_name(p);
+  }
 
   check::ScopedFailureHandler guard{check::throwing_handler};
   exp::ScenarioBuilder ok;
@@ -287,6 +307,15 @@ TEST(ChurnBuilder, MeasuredGoodputRequiresOpportunisticPolicy) {
       .measured_goodput();
   const exp::ScenarioResult res = exp::run_scenario(ok.build());
   EXPECT_GT(res.clients[0].packets_received, 0u);
+
+  // A newly legal combination also runs end-to-end.
+  exp::ScenarioBuilder lqf;
+  lqf.video(2, 1)
+      .policy(exp::IntervalPolicy::LongestQueue500)
+      .duration_s(6.0)
+      .measured_goodput();
+  const exp::ScenarioResult res_lqf = exp::run_scenario(lqf.build());
+  EXPECT_GT(res_lqf.clients[0].packets_received, 0u);
 }
 
 TEST(ChurnBuilder, StormAndWindowValidation) {

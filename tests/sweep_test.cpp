@@ -184,6 +184,74 @@ TEST(SweepKey, EveryMutationChangesTheKey) {
   }
 }
 
+// Fleet-level axes (cell count, backbone latency, cross-traffic shape) and
+// every embedded cell-level axis must reach the multicell key.
+TEST(SweepKey, MulticellAxesChangeTheKey) {
+  MultiCellConfig base;
+  base.num_cells = 3;
+  base.cell = tiny(7).build();
+  const std::uint64_t k0 = sweep::multicell_key(base);
+  EXPECT_EQ(sweep::multicell_key(base), k0);  // stable
+  // Fleet keys and scenario keys live in disjoint namespaces even for
+  // equal salt inputs.
+  EXPECT_NE(k0, sweep::config_key(base.cell));
+
+  std::vector<MultiCellConfig> variants;
+  {
+    auto v = base;
+    v.num_cells = 4;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.backbone_latency = sim::Time::ms(35);
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cross.enabled = false;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cross.period = sim::Time::ms(111);
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cross.bytes = 601;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cross.fanout = 2;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cross.start_s = 1.5;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cell = tiny(8).build();  // cell-level change propagates to fleet key
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.cell.per_client_obs = false;
+    variants.push_back(v);
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(sweep::multicell_key(variants[i]), k0) << "variant " << i;
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_NE(sweep::multicell_key(variants[i]),
+                sweep::multicell_key(variants[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
 // -- RunRecord round trip ----------------------------------------------------------
 
 TEST(RunRecord, RoundTripsBitExactly) {

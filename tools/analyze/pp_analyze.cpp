@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       ProjectIndex::load(root, {"src", "bench", "examples", "tests"});
 
   if (list_hot) {
-    for (const std::size_t fi : idx.hot_closure({"sim", "net", "proxy"})) {
+    for (const std::size_t fi : idx.hot_closure({"sim", "net", "proxy", "exp"})) {
       std::printf("%s\n", idx.files()[fi].rel.c_str());
     }
     return 0;

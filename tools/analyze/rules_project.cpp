@@ -390,7 +390,7 @@ std::string object_before(const std::string& t, std::size_t dot) {
 }  // namespace
 
 void rule_hot_path_alloc(const ProjectIndex& idx, std::vector<Finding>& out) {
-  const std::vector<std::size_t> hot = idx.hot_closure({"sim", "net", "proxy"});
+  const std::vector<std::size_t> hot = idx.hot_closure({"sim", "net", "proxy", "exp"});
 
   for (const std::size_t fi : hot) {
     const FileScan& f = idx.files()[fi];
